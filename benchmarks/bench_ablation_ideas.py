@@ -1,0 +1,109 @@
+"""Ablation — Idea I (multiple centers) and Idea II (neighborhood blocks).
+
+DESIGN.md calls out two design choices of the 3-spanner LCA whose effect the
+paper argues only analytically:
+
+* **Idea I** — multiple centers make the cluster-membership test a single
+  ``Adjacency`` probe; the naïve single-center construction needs a Θ(√n)
+  prefix scan per test.  The ablation compares the per-query probes of the
+  real 3-spanner LCA against the naïve variant on the same dense graph.
+* **Idea II** — super-high-degree vertices are handled block by block; the
+  ablation compares the probes of the block rule against a hypothetical full
+  scan (measured as the block rule with block size = n, i.e. a single block).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import format_table, graphs
+from repro.core.seed import Seed
+from repro.spanner3 import SuperBlockComponent, ThreeSpannerLCA
+from repro.spanner3.ablation import NaiveSingleCenterLCA
+from repro.spanner3.centers import PrefixCenterSystem
+
+from conftest import print_section
+
+
+def test_idea1_multiple_centers_vs_naive(benchmark, dense_benchmark_graph):
+    graph = dense_benchmark_graph
+    smart = ThreeSpannerLCA(graph, seed=3, hitting_constant=1.0)
+    naive = NaiveSingleCenterLCA(graph, seed=3, hitting_constant=1.0)
+
+    rng = random.Random(9)
+    sample = rng.sample(list(graph.edges()), 120)
+    for (u, v) in sample:
+        smart.query(u, v)
+        naive.query(u, v)
+
+    rows = [
+        {
+            "variant": "Idea I: multiple centers (paper)",
+            "mean probes/query": round(smart.probe_stats.mean, 1),
+            "max probes/query": smart.probe_stats.max,
+        },
+        {
+            "variant": "ablation: naive single center",
+            "mean probes/query": round(naive.probe_stats.mean, 1),
+            "max probes/query": naive.probe_stats.max,
+        },
+    ]
+    print_section("Ablation — Idea I (cluster-membership in one probe)", format_table(rows))
+
+    # The naive variant pays a multiplicative prefix-scan factor per
+    # membership test; it must be clearly more expensive on dense inputs.
+    assert naive.probe_stats.mean > 1.5 * smart.probe_stats.mean
+
+    u, v = sample[0]
+    benchmark(lambda: smart.query(u, v))
+    benchmark.extra_info["ablation"] = "idea-1"
+
+
+def test_idea2_blocks_vs_full_scan(benchmark, skewed_benchmark_graph):
+    graph = skewed_benchmark_graph
+    seed = Seed.of(11)
+    block_size = 40  # stand-in for the n^{3/4} block size at this scale
+    centers = PrefixCenterSystem(
+        seed=seed.derive("ablation/super-centers"),
+        probability=0.1,
+        prefix=block_size,
+        independence=10,
+    )
+    blocked = SuperBlockComponent(graph, seed, threshold=block_size, centers=centers)
+    full_scan = SuperBlockComponent(
+        graph, seed, threshold=graph.num_vertices, centers=centers
+    )
+
+    # Query edges incident to the hubs: these are the ones whose neighbor
+    # lists are long enough that block locality matters.
+    hub_edges = [
+        (u, v)
+        for (u, v) in graph.edges()
+        if max(graph.degree(u), graph.degree(v)) > 3 * block_size
+    ]
+    rng = random.Random(5)
+    sample = rng.sample(hub_edges, min(80, len(hub_edges)))
+    for (u, v) in sample:
+        blocked.query(u, v)
+        full_scan.query(u, v)
+
+    rows = [
+        {
+            "variant": f"Idea II: blocks of size {block_size} (paper)",
+            "mean probes/query": round(blocked.probe_stats.mean, 1),
+            "max probes/query": blocked.probe_stats.max,
+        },
+        {
+            "variant": "ablation: scan the whole neighbor list",
+            "mean probes/query": round(full_scan.probe_stats.mean, 1),
+            "max probes/query": full_scan.probe_stats.max,
+        },
+    ]
+    print_section("Ablation — Idea II (neighborhood partitioning)", format_table(rows))
+
+    assert blocked.probe_stats.max < full_scan.probe_stats.max
+    assert blocked.probe_stats.mean <= full_scan.probe_stats.mean
+
+    u, v = sample[0]
+    benchmark(lambda: blocked.query(u, v))
+    benchmark.extra_info["ablation"] = "idea-2"

@@ -1,0 +1,78 @@
+"""Global baselines (Baswana–Sen, greedy) — the size/stretch yardsticks.
+
+These are the non-local reference points of Table 1's "who wins" comparison:
+the greedy spanner achieves the folklore O(n^{1+1/k}) size bound with the
+best constants, Baswana–Sen matches it up to a factor k.  The benchmark
+records their sizes across k and graph sizes so the LCA results can be read
+against them, and times a full Baswana–Sen construction.
+"""
+
+from __future__ import annotations
+
+from repro import format_table, graphs
+from repro.analysis import measure_stretch
+from repro.baselines import (
+    baswana_sen_spanner,
+    expected_size_bound,
+    greedy_size_bound,
+    greedy_spanner,
+)
+
+from conftest import print_section
+
+
+def test_baseline_sizes_across_k(benchmark):
+    graph = graphs.gnp_graph(300, 0.15, seed=61)
+    rows = []
+    for k in (2, 3, 4):
+        bs = baswana_sen_spanner(graph, k, seed=5)
+        greedy = greedy_spanner(graph, k)
+        bs_stretch = measure_stretch(graph, bs, limit=2 * k).max_stretch
+        greedy_stretch = measure_stretch(graph, greedy, limit=2 * k).max_stretch
+        rows.append(
+            {
+                "k": k,
+                "m": graph.num_edges,
+                "|H| Baswana-Sen": len(bs),
+                "|H| greedy": len(greedy),
+                "bound k*n^(1+1/k)": int(expected_size_bound(graph.num_vertices, k)),
+                "bound n^(1+1/k)": int(greedy_size_bound(graph.num_vertices, k)),
+                "stretch BS": bs_stretch,
+                "stretch greedy": greedy_stretch,
+            }
+        )
+    print_section("Baselines — global spanner sizes across k", format_table(rows))
+
+    for row in rows:
+        k = row["k"]
+        assert row["stretch BS"] <= 2 * k - 1
+        assert row["stretch greedy"] <= 2 * k - 1
+        assert row["|H| greedy"] <= row["|H| Baswana-Sen"] * 1.5
+        # both sparsify the dense input
+        assert row["|H| greedy"] < graph.num_edges
+
+    benchmark(lambda: baswana_sen_spanner(graph, 3, seed=6))
+    benchmark.extra_info["role"] = "baseline"
+
+
+def test_baseline_growth_with_n(benchmark):
+    rows = []
+    for n in (150, 300, 600):
+        graph = graphs.gnp_graph(n, 0.15, seed=n)
+        greedy = greedy_spanner(graph, 2)
+        rows.append(
+            {
+                "n": n,
+                "m": graph.num_edges,
+                "|H| greedy (k=2)": len(greedy),
+                "n^1.5": int(n ** 1.5),
+                "ratio": round(len(greedy) / n ** 1.5, 2),
+            }
+        )
+    print_section("Baselines — greedy 3-spanner growth", format_table(rows))
+    # the |H| / n^{3/2} ratio stays bounded as n doubles (folklore bound shape)
+    ratios = [row["ratio"] for row in rows]
+    assert max(ratios) <= 3.0 * min(ratios) + 0.5
+
+    small = graphs.gnp_graph(150, 0.15, seed=150)
+    benchmark(lambda: greedy_spanner(small, 2))

@@ -1,0 +1,110 @@
+"""Section 5 — bounded independence: seed sizes and hitting-set quality.
+
+Theorems 1.1 and 1.2 claim that O(log² n) random bits suffice.  This
+benchmark reports the concrete seed-bit cost charged by Lemma 5.2 for the
+hash functions each construction uses, and empirically verifies the two
+hitting-set properties (HI)/(HII) of Section 5 under Θ(log n)-wise
+independence, plus the all-zero-block behaviour of the rank construction of
+Section 5.2 that drives the O(k) induction of Lemma 5.5.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import format_table
+from repro.rand import (
+    CenterSampler,
+    RankAssigner,
+    hitting_probability,
+    recommended_independence,
+    seed_bit_cost,
+)
+
+from conftest import print_section
+
+
+def test_seed_bit_costs(benchmark):
+    rows = []
+    for n in (10**4, 10**6, 10**9):
+        d = recommended_independence(n)
+        per_function = seed_bit_cost(n, d)
+        rows.append(
+            {
+                "n": n,
+                "independence d=Θ(log n)": d,
+                "bits per hash function": per_function,
+                "3-spanner (2 functions)": 2 * per_function,
+                "O(k²), k=3 (k+3 functions)": 6 * per_function,
+                "log²(n)": int(math.log2(n) ** 2),
+            }
+        )
+    print_section("Section 5 — random seed sizes (Lemma 5.2)", format_table(rows))
+    for row in rows:
+        # O(log² n) with a small constant
+        assert row["bits per hash function"] <= 4 * row["log²(n)"] + 64
+
+    benchmark(lambda: seed_bit_cost(10**6, recommended_independence(10**6)))
+
+
+def test_hitting_set_properties(benchmark):
+    """(HI): |S| ≈ pn; (HII): every Δ-prefix contains Θ(log n) centers."""
+    n, delta = 20_000, 400
+    probability = hitting_probability(delta, n, multiplier=2.0)
+    sampler = CenterSampler(seed=7, probability=probability, independence=recommended_independence(n))
+
+    num_centers = sum(1 for v in range(n) if sampler.is_center(v))
+    expected = probability * n
+
+    misses = 0
+    min_hits = float("inf")
+    blocks = 200
+    for b in range(blocks):
+        neighborhood = range(b * delta, (b + 1) * delta)
+        hits = sum(1 for v in neighborhood if sampler.is_center(v))
+        min_hits = min(min_hits, hits)
+        if hits == 0:
+            misses += 1
+
+    rows = [
+        {"property": "(HI) |S|", "expected": int(expected), "measured": num_centers},
+        {
+            "property": "(HII) min centers per Δ-prefix",
+            "expected": f"Θ(log n) ≈ {int(2 * math.log(n))}",
+            "measured": int(min_hits),
+        },
+        {"property": "(HII) prefixes missed", "expected": 0, "measured": misses},
+    ]
+    print_section("Section 5 — hitting-set properties under Θ(log n)-wise independence", format_table(rows))
+
+    assert abs(num_centers - expected) < 0.25 * expected
+    assert misses == 0
+
+    benchmark(lambda: sum(1 for v in range(2000) if sampler.is_center(v)))
+
+
+def test_rank_block_distribution(benchmark):
+    """Section 5.2: each N-bit rank block is all-zero with probability 2^{-N},
+    which is what makes the rank induction terminate in O(k) steps."""
+    n, k = 4096, 3
+    ranks = RankAssigner.for_graph(seed=3, num_vertices=n, stretch_parameter=k, independence=16)
+    bits = ranks.bits_per_block
+    zero_counts = []
+    for block_index in range(k):
+        zeros = sum(1 for v in range(n) if ranks.block(v, block_index) == 0)
+        zero_counts.append(zeros)
+    expected = n / 2**bits
+    rows = [
+        {
+            "block": i + 1,
+            "bits": bits,
+            "all-zero blocks measured": count,
+            "expected n/2^N": int(expected),
+        }
+        for i, count in enumerate(zero_counts)
+    ]
+    print_section("Section 5.2 — rank block statistics", format_table(rows))
+    for count in zero_counts:
+        assert abs(count - expected) < 0.5 * expected + 10
+
+    benchmark(lambda: [ranks.rank(v) for v in range(500)])

@@ -1,0 +1,51 @@
+"""Theorem 1.3 — the Ω(min{√n, n²/m}) probe lower bound, empirically.
+
+The theorem's argument: with fewer than ~min{√n, n/d} probes the D⁺ and D⁻
+families are indistinguishable, so an LCA cannot decide whether the
+designated edge is essential.  The benchmark measures the advantage of the
+natural probe-limited distinguisher as the probe budget crosses the
+threshold: the advantage is ≈ 0 far below the threshold and → 1 far above
+it, reproducing the shape of the bound.
+"""
+
+from __future__ import annotations
+
+from repro import format_table
+from repro.lowerbound import advantage_curve, run_distinguishing_experiment
+
+from conftest import print_section
+
+N, D = 202, 3  # n ≡ 2 (mod 4), odd d, as in the paper's construction
+TRIALS = 10
+
+
+def test_lower_bound_advantage_curve(benchmark):
+    threshold = min(N ** 0.5, N / D)
+    budgets = [2, 8, max(3, int(threshold // 4)), int(threshold), int(8 * threshold), 50_000]
+    curve = advantage_curve(N, D, probe_budgets=budgets, trials=TRIALS, seed=3)
+    rows = [
+        {
+            "probe budget": point.probe_budget,
+            "budget / threshold": round(point.probe_budget / point.theory_threshold, 2),
+            "success rate": round(point.success_rate, 2),
+            "advantage": round(point.advantage, 2),
+        }
+        for point in curve
+    ]
+    print_section(
+        f"Theorem 1.3 — distinguishing advantage vs probe budget "
+        f"(n={N}, d={D}, threshold≈{threshold:.0f})",
+        format_table(rows),
+    )
+
+    # Shape: clueless far below the threshold, (near-)perfect far above it.
+    assert curve[0].advantage <= 0.25
+    assert curve[-1].advantage >= 0.75
+    assert curve[0].advantage <= curve[-1].advantage
+
+    benchmark(
+        lambda: run_distinguishing_experiment(
+            N, D, probe_budget=int(threshold), trials=2, seed=99
+        )
+    )
+    benchmark.extra_info["theorem"] = "1.3"

@@ -1,0 +1,95 @@
+"""Scaling of the 3-spanner LCA (Theorem 1.1, r = 2).
+
+The theorem promises Õ(n^{3/2}) spanner edges and Õ(n^{3/4}) probes per query
+on dense graphs.  This benchmark sweeps increasing graph sizes at constant
+G(n, p) density, estimates the spanner size from the query YES-rate and the
+probe complexity from per-query measurements, fits log-log exponents and
+compares them against the paper's 1.5 / 0.75 targets (the input size m grows
+like n², so a fitted size exponent well below 2 demonstrates sparsification).
+"""
+
+from __future__ import annotations
+
+from repro import format_table, graphs
+from repro.analysis import exponent_row, run_sweep
+from repro.spanner3 import ThreeSpannerLCA
+
+from conftest import print_section
+
+SIZES = [200, 400, 800, 1600]
+DENSITY = 0.12
+
+
+def test_scaling_3spanner(benchmark):
+    sweep = run_sweep(
+        "3-spanner LCA",
+        lca_factory=lambda g, s: ThreeSpannerLCA(g, seed=s, hitting_constant=1.0),
+        graph_factory=lambda n, s: graphs.gnp_graph(n, DENSITY, seed=s),
+        sizes=SIZES,
+        seed=17,
+        materialize=False,
+        probe_queries=120,
+    )
+    summary = exponent_row(sweep, target_size_exponent=1.5, target_probe_exponent=0.75)
+    print_section(
+        "Scaling S3 — 3-spanner size / probe growth",
+        format_table(sweep.rows()) + "\n\n" + format_table([summary]),
+    )
+
+    size_exponent = sweep.size_exponent()
+    probe_exponent = sweep.probe_exponent()
+    assert size_exponent is not None and probe_exponent is not None
+    # The input grows like n^2; the spanner must grow strictly slower, in the
+    # vicinity of the n^{3/2} target (log factors and the sampled-estimate
+    # noise leave a generous band).
+    assert size_exponent < 1.95
+    # Probe growth must stay sublinear in n (target n^{0.75}).
+    assert probe_exponent < 1.1
+
+    # Benchmark a single query at the largest size.
+    graph = graphs.gnp_graph(SIZES[-1], DENSITY, seed=17 + len(SIZES) - 1)
+    lca = ThreeSpannerLCA(graph, seed=17, hitting_constant=1.0)
+    u, v = next(iter(graph.edges()))
+    benchmark(lambda: lca.query(u, v))
+    benchmark.extra_info["size_exponent"] = size_exponent
+    benchmark.extra_info["probe_exponent"] = probe_exponent
+
+
+def test_density_sweep_sparsification_ratio(benchmark):
+    """Fixed n, growing density: the kept fraction |H|/m must fall.
+
+    The Õ(n^{3/2}) bound is independent of m, so as the input gets denser the
+    spanner keeps a smaller and smaller fraction of the edges — this is the
+    crossover that makes the construction useful precisely on dense graphs.
+    """
+    import random
+
+    n = 700
+    rows = []
+    ratios = []
+    for density in (0.05, 0.15, 0.35):
+        graph = graphs.gnp_graph(n, density, seed=71)
+        lca = ThreeSpannerLCA(graph, seed=5, hitting_constant=1.0)
+        rng = random.Random(2)
+        sample = rng.sample(list(graph.edges()), 250)
+        kept = sum(1 for (u, v) in sample if lca.query(u, v))
+        ratio = kept / len(sample)
+        ratios.append(ratio)
+        rows.append(
+            {
+                "n": n,
+                "density p": density,
+                "m": graph.num_edges,
+                "kept fraction": round(ratio, 3),
+                "estimated |H|": int(ratio * graph.num_edges),
+                "n^1.5": int(n ** 1.5),
+            }
+        )
+    print_section("Scaling S3b — sparsification vs input density", format_table(rows))
+    # the kept fraction decreases as the graph gets denser
+    assert ratios[-1] < ratios[0]
+
+    graph = graphs.gnp_graph(n, 0.35, seed=71)
+    lca = ThreeSpannerLCA(graph, seed=5, hitting_constant=1.0)
+    u, v = next(iter(graph.edges()))
+    benchmark(lambda: lca.query(u, v))

@@ -1,0 +1,80 @@
+"""Scaling of the 5-spanner LCA (Theorem 1.1 r = 3, Theorems 3.4 / 3.5).
+
+Targets: Õ(n^{4/3}) edges and Õ(n^{5/6}) probes per query.  As for the
+3-spanner sweep, sizes grow at fixed density and size/probe exponents are
+fitted from sampled queries.  A second, smaller sweep exercises the
+Theorem 3.5 variant (r = 4) on graphs whose minimum degree satisfies the
+theorem's requirement, checking that it produces spanners no denser than the
+r = 3 construction.
+"""
+
+from __future__ import annotations
+
+from repro import format_table, graphs
+from repro.analysis import exponent_row, run_sweep
+from repro.spanner5 import FiveSpannerLCA
+
+from conftest import print_section
+
+SIZES = [200, 400, 800]
+DENSITY = 0.12
+
+
+def test_scaling_5spanner(benchmark):
+    sweep = run_sweep(
+        "5-spanner LCA",
+        lca_factory=lambda g, s: FiveSpannerLCA(g, seed=s, hitting_constant=1.0),
+        graph_factory=lambda n, s: graphs.gnp_graph(n, DENSITY, seed=s),
+        sizes=SIZES,
+        seed=23,
+        materialize=False,
+        probe_queries=40,
+    )
+    summary = exponent_row(sweep, target_size_exponent=4 / 3, target_probe_exponent=5 / 6)
+    print_section(
+        "Scaling S5 — 5-spanner size / probe growth",
+        format_table(sweep.rows()) + "\n\n" + format_table([summary]),
+    )
+
+    size_exponent = sweep.size_exponent()
+    assert size_exponent is not None
+    # must grow strictly slower than the m ~ n² input
+    assert size_exponent < 1.95
+
+    graph = graphs.gnp_graph(400, DENSITY, seed=24)
+    lca = FiveSpannerLCA(graph, seed=23, hitting_constant=1.0)
+    u, v = next(iter(graph.edges()))
+    benchmark(lambda: lca.query(u, v))
+    benchmark.extra_info["size_exponent"] = size_exponent
+
+
+def test_theorem_3_5_min_degree_variant(benchmark):
+    """Theorem 3.5: with min degree ≥ n^{1/2-1/(2r)} larger r gives spanners
+    that are no denser, at comparable probe cost."""
+    graph = graphs.gnp_graph(300, 0.3, seed=31)  # min degree ≈ 90 ≥ n^{3/8} ≈ 8.5
+    rows = []
+    estimates = {}
+    for r in (3, 4):
+        lca = FiveSpannerLCA(graph, seed=7, stretch_parameter=r, hitting_constant=1.0)
+        import random
+
+        rng = random.Random(1)
+        sample = rng.sample(list(graph.edges()), 150)
+        kept = sum(1 for (u, v) in sample if lca.query(u, v))
+        estimate = kept / len(sample) * graph.num_edges
+        estimates[r] = estimate
+        rows.append(
+            {
+                "r": r,
+                "target |H|": f"~O(n^(1+1/{r}))",
+                "estimated |H|": int(estimate),
+                "max probes (sample)": lca.probe_stats.max,
+            }
+        )
+    print_section("Theorem 3.5 — min-degree 5-spanner variant", format_table(rows))
+    # larger r keeps (weakly) fewer edges on a min-degree instance
+    assert estimates[4] <= 1.15 * estimates[3]
+
+    u, v = next(iter(graph.edges()))
+    lca = FiveSpannerLCA(graph, seed=7, stretch_parameter=4, hitting_constant=1.0)
+    benchmark(lambda: lca.query(u, v))

@@ -1,0 +1,89 @@
+"""Table 2 — edge categorization of the 5-spanner construction.
+
+The paper's Table 2 lists, for each edge class of the 5-spanner construction
+(E_low, E_bckt, E_rep, E_super), the bound on the number of spanner edges and
+the probe complexity of the corresponding sub-LCA.  This benchmark measures,
+on a degree-skewed workload:
+
+* how many input edges fall in each class,
+* how many edges each sub-construction contributes to the spanner,
+* the maximum probes spent by each sub-construction per query.
+
+Shape to check: E_low dominates the edge count on the skewed graph, the
+probe-heavy classes are the medium/super ones, and every per-class probe
+figure stays far below reading the graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import format_table
+from repro.spanner5 import CROWDED, DESERTED, FiveSpannerLCA
+
+from conftest import print_section
+
+
+def _classify(lca, graph, u, v):
+    params = lca.params
+    du, dv = graph.degree(u), graph.degree(v)
+    label = params.classify_edge(du, dv)
+    if label != "medium":
+        return f"E_{label}"
+    cu = lca.classifier.classify_global(graph, u)
+    cv = lca.classifier.classify_global(graph, v)
+    if cu == DESERTED and cv == DESERTED:
+        return "E_bckt"
+    if CROWDED in (cu, cv):
+        return "E_rep"
+    return "E_bckt"
+
+
+def test_table2_edge_classes(benchmark, skewed_benchmark_graph):
+    graph = skewed_benchmark_graph
+    lca = FiveSpannerLCA(graph, seed=9, hitting_constant=1.0)
+
+    class_counts = {}
+    for (u, v) in graph.edges():
+        label = _classify(lca, graph, u, v)
+        class_counts[label] = class_counts.get(label, 0) + 1
+
+    # Per-component spanner contributions and probe costs, measured on a
+    # random edge sample (full materialization of every component separately
+    # would repeat identical work four times).
+    rng = random.Random(3)
+    sample = rng.sample(list(graph.edges()), min(400, graph.num_edges))
+    component_rows = []
+    for component in lca.components:
+        kept = 0
+        max_probes = 0
+        for (u, v) in sample:
+            outcome = component.query_with_stats(u, v)
+            kept += int(outcome.in_spanner)
+            max_probes = max(max_probes, outcome.probe_total)
+        component_rows.append(
+            {
+                "component": component.name,
+                "kept (of sample)": kept,
+                "sample size": len(sample),
+                "max probes / query": max_probes,
+            }
+        )
+
+    class_rows = [
+        {"edge class": label, "# input edges": count}
+        for label, count in sorted(class_counts.items())
+    ]
+    print_section(
+        "Table 2 — 5-spanner edge categorization",
+        format_table(class_rows) + "\n\n" + format_table(component_rows),
+    )
+
+    assert sum(class_counts.values()) == graph.num_edges
+    # every class probe cost is far below m
+    for row in component_rows:
+        assert row["max probes / query"] < graph.num_edges
+
+    u, v = sample[0]
+    benchmark(lambda: lca.query(u, v))
+    benchmark.extra_info["table"] = "Table 2"

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Why sub-√n probes cannot work: the Theorem 1.3 experiment.
+
+Two distributions over 3-regular graphs share a designated edge (x, y):
+in D⁺ the edge is redundant (its endpoints stay connected without it), in
+D⁻ it is the only bridge between two halves.  Any spanner LCA that wants to
+drop a constant fraction of edges has to tell the two cases apart — and the
+theorem says it cannot with o(min{√n, n²/m}) probes.
+
+The script samples instances from both families and lets a probe-limited
+breadth-first distinguisher guess the family, sweeping the probe budget
+through the theoretical threshold so the phase transition is visible.
+
+Run:  python examples/lower_bound_demo.py [n] [trials] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import format_table
+from repro.lowerbound import advantage_curve
+
+DEGREE = 3
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else 202
+    trials = int(argv[2]) if len(argv) > 2 else 12
+    seed = int(argv[3]) if len(argv) > 3 else 1
+
+    if n % 4 != 2:
+        print("n must be ≡ 2 (mod 4) for the two-halves construction; adjusting.")
+        n += 2 - (n % 4) if n % 4 < 2 else 4 - (n % 4) + 2
+
+    threshold = min(n ** 0.5, n / DEGREE)
+    budgets = [2, 8, int(threshold // 4), int(threshold), int(4 * threshold), 10 * n]
+    print(
+        f"n={n}, d={DEGREE}: Theorem 1.3 threshold min(sqrt(n), n/d) ≈ {threshold:.0f}\n"
+        f"Running {trials} trials per probe budget ..."
+    )
+
+    curve = advantage_curve(n, DEGREE, probe_budgets=budgets, trials=trials, seed=seed)
+    rows = [
+        {
+            "probe budget": point.probe_budget,
+            "budget / threshold": round(point.probe_budget / threshold, 2),
+            "success rate": round(point.success_rate, 2),
+            "advantage over guessing": round(point.advantage, 2),
+        }
+        for point in curve
+    ]
+    print()
+    print(format_table(rows, title="Distinguishing D+ from D- under a probe budget"))
+    print(
+        "\nBelow the threshold the distinguisher is no better than guessing —"
+        " an LCA in that regime must keep the designated edge, and hence Ω(m)"
+        " edges overall (Theorem 1.3)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

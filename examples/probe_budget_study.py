@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scaling study: how spanner size and probe cost grow with the graph.
+
+A compact, runnable version of the benchmark sweeps: for a sequence of graph
+sizes the script samples edge queries against the 3-spanner LCA, estimates
+the spanner size from the YES-rate, measures the per-query probe counts and
+fits the log-log growth exponents, printing them next to the paper's
+Õ(n^{3/2}) / Õ(n^{3/4}) targets.
+
+Run:  python examples/probe_budget_study.py [max_n] [density] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import format_table, graphs
+from repro.analysis import exponent_row, run_sweep
+from repro.spanner3 import ThreeSpannerLCA
+
+
+def main(argv: list[str]) -> int:
+    max_n = int(argv[1]) if len(argv) > 1 else 1600
+    density = float(argv[2]) if len(argv) > 2 else 0.12
+    seed = int(argv[3]) if len(argv) > 3 else 17
+
+    sizes = []
+    n = max(100, max_n // 8)
+    while n <= max_n:
+        sizes.append(n)
+        n *= 2
+    print(f"Sweeping sizes {sizes} at density {density} (sampled queries) ...")
+
+    sweep = run_sweep(
+        "3-spanner LCA",
+        lca_factory=lambda g, s: ThreeSpannerLCA(g, seed=s, hitting_constant=1.0),
+        graph_factory=lambda size, s: graphs.gnp_graph(size, density, seed=s),
+        sizes=sizes,
+        seed=seed,
+        materialize=False,
+        probe_queries=120,
+    )
+
+    print()
+    print(format_table(sweep.rows(), title="Measured growth"))
+    print()
+    print(
+        format_table(
+            [exponent_row(sweep, target_size_exponent=1.5, target_probe_exponent=0.75)],
+            title="Fitted log-log exponents vs the paper's targets",
+        )
+    )
+    print(
+        "\nNote: at laptop scale the polylog factors hidden in Õ(·) are"
+        " comparable to the polynomial terms, so fitted exponents sit above"
+        " the asymptotic targets; the point is that both stay clearly below"
+        " the trivial m ~ n² / probe ~ n lines."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Per-edge stretch certificates: better-than-worst-case guarantees.
+
+The paper's discussion (Section 1.3) points out that the folklore
+stretch/size trade-off is only tight for edges whose endpoints have moderate
+degree; once an endpoint is high degree the constructions guarantee a much
+smaller stretch for that edge.  This example issues a certificate for every
+edge of a degree-skewed graph under the 3-spanner LCA, summarizes how many
+edges enjoy stretch 1 (kept) versus 3 (rerouted), and verifies each
+certificate against the materialized spanner.
+
+Run:  python examples/stretch_certificates.py [n] [density] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ThreeSpannerLCA, format_table, graphs
+from repro.analysis import certify_edges, measure_stretch, summarize_certificates
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else 250
+    density = float(argv[2]) if len(argv) > 2 else 0.3
+    seed = int(argv[3]) if len(argv) > 3 else 3
+
+    # A dense random graph: most edges have two high-degree endpoints, so the
+    # LCA actually drops a sizeable fraction of them (certificate "3"), while
+    # the edges touching low-degree vertices are certified at stretch 1.
+    graph = graphs.gnp_graph(n, density, seed=seed)
+    print(f"Graph: {graph} with max degree {graph.max_degree()}")
+
+    lca = ThreeSpannerLCA(graph, seed=seed, hitting_constant=1.0)
+    certificates = certify_edges(lca, graph.edges())
+    summary = summarize_certificates(certificates)
+
+    rows = [
+        {"per-edge guarantee": guarantee, "# edges": count}
+        for guarantee, count in sorted(summary["by_guarantee"].items())
+    ]
+    print()
+    print(format_table(rows, title="Certificates issued"))
+    rule_rows = [
+        {"rule": rule, "# edges": count}
+        for rule, count in sorted(summary["by_rule"].items())
+    ]
+    print()
+    print(format_table(rule_rows, title="Responsible rules"))
+
+    print("\nVerifying every certificate against the materialized spanner ...")
+    materialized = lca.materialize()
+    violations = 0
+    for certificate in certificates:
+        report = measure_stretch(
+            graph,
+            materialized.edges,
+            limit=certificate.guarantee,
+            sample_edges=[certificate.edge],
+        )
+        if report.max_stretch is None or report.max_stretch > certificate.guarantee:
+            violations += 1
+    print(f"  certificates checked: {len(certificates)}, violations: {violations}")
+    if violations:
+        return 1
+    kept = summary["kept"]
+    print(
+        f"\n{kept} of {summary['total']} edges are certified at stretch 1 (kept);"
+        " the remaining edges are certified at stretch 3 — strictly better than"
+        " the worst case whenever their endpoints are low degree."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs (``pip install -e .``) work in offline environments whose
+setuptools lacks the PEP 660 wheel-based editable path.
+"""
+
+from setuptools import setup
+
+setup()

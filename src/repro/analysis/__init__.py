@@ -1,0 +1,55 @@
+"""Verification, evaluation and reporting utilities."""
+
+from .certificates import (
+    EdgeCertificate,
+    best_guarantee_by_degree,
+    certify_edge,
+    certify_edges,
+    summarize_certificates,
+)
+from .harness import (
+    EvaluationReport,
+    check_consistency,
+    evaluate_lca,
+    evaluate_materialized,
+    probe_complexity_sample,
+)
+from .sweep import SweepPoint, SweepResult, exponent_row, run_sweep
+from .tables import format_comparison, format_table
+from .verify import (
+    StretchReport,
+    check_subgraph,
+    density_ratio,
+    measure_stretch,
+    preserves_connectivity,
+    size_against_bound,
+    spanner_is_connected,
+    verify_spanner,
+)
+
+__all__ = [
+    "EdgeCertificate",
+    "certify_edge",
+    "certify_edges",
+    "best_guarantee_by_degree",
+    "summarize_certificates",
+    "EvaluationReport",
+    "evaluate_lca",
+    "evaluate_materialized",
+    "probe_complexity_sample",
+    "check_consistency",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "exponent_row",
+    "format_table",
+    "format_comparison",
+    "StretchReport",
+    "measure_stretch",
+    "verify_spanner",
+    "check_subgraph",
+    "preserves_connectivity",
+    "spanner_is_connected",
+    "density_ratio",
+    "size_against_bound",
+]

@@ -1,0 +1,68 @@
+"""Plain-text table formatting for the benchmark harnesses.
+
+Benchmarks print the rows the paper's tables report (plus the measured
+values) so a run of ``pytest benchmarks/ --benchmark-only -s`` regenerates a
+textual version of every table.  No external dependency is used — the tables
+are simple aligned monospace text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col))))
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append(separator)
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_comparison(
+    rows: Iterable[Dict[str, object]],
+    measured_key: str,
+    target_key: str,
+    title: str = "",
+) -> str:
+    """Table with an extra measured/target ratio column (shape comparison)."""
+    augmented: List[Dict[str, object]] = []
+    for row in rows:
+        row = dict(row)
+        measured = row.get(measured_key)
+        target = row.get(target_key)
+        if isinstance(measured, (int, float)) and isinstance(target, (int, float)) and target:
+            row["ratio"] = round(float(measured) / float(target), 3)
+        else:
+            row["ratio"] = None
+        augmented.append(row)
+    return format_table(augmented, title=title)

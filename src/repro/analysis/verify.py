@@ -1,0 +1,163 @@
+"""Verification of spanner properties (subgraph, stretch, connectivity).
+
+These routines operate on full graphs and materialized edge sets; they are
+the ground truth against which the LCAs' local answers are checked.  Stretch
+is verified edge-by-edge: a subgraph ``H ⊆ G`` is a t-spanner iff every edge
+``(u, v)`` of ``G`` satisfies ``dist_H(u, v) ≤ t`` (standard fact — shortest
+paths decompose into edges).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.errors import GraphError
+from ..core.ids import canonical_edge
+from ..graphs.distances import connected_components, is_connected
+from ..graphs.graph import Graph
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class StretchReport:
+    """Result of a stretch verification."""
+
+    #: Worst multiplicative stretch observed over the edges of G (∞ → None).
+    max_stretch: Optional[int]
+    #: Number of G-edges whose endpoints are disconnected in H.
+    disconnected_edges: int
+    #: Number of edges checked.
+    checked_edges: int
+    #: The edge realizing the worst stretch (None when the graph is empty).
+    worst_edge: Optional[Edge] = None
+
+    @property
+    def is_finite(self) -> bool:
+        return self.disconnected_edges == 0
+
+    def satisfies(self, bound: int) -> bool:
+        """Whether every edge is stretched by at most ``bound``."""
+        if not self.is_finite:
+            return False
+        return self.max_stretch is not None and self.max_stretch <= bound
+
+
+def check_subgraph(graph: Graph, edges: Iterable[Edge]) -> None:
+    """Raise :class:`GraphError` unless every edge exists in the host graph."""
+    for (u, v) in edges:
+        if not graph.has_edge(u, v):
+            raise GraphError(f"spanner edge ({u}, {v}) is not an edge of G")
+
+
+def measure_stretch(
+    graph: Graph,
+    spanner_edges: Iterable[Edge],
+    limit: Optional[int] = None,
+    sample_edges: Optional[Iterable[Edge]] = None,
+) -> StretchReport:
+    """Measure the worst stretch of a spanner over the edges of ``G``.
+
+    Parameters
+    ----------
+    graph:
+        Host graph ``G``.
+    spanner_edges:
+        The spanner's edge set.
+    limit:
+        Optional cap on the BFS depth; distances beyond the cap are treated
+        as "disconnected", which is both faster and sufficient when one only
+        wants to check a specific bound.
+    sample_edges:
+        Check only these edges of ``G`` (all edges by default).
+    """
+    edge_set = {canonical_edge(u, v) for (u, v) in spanner_edges}
+    check_subgraph(graph, edge_set)
+    spanner_adj: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
+    for (u, v) in edge_set:
+        spanner_adj[u].append(v)
+        spanner_adj[v].append(u)
+
+    to_check = list(graph.edges() if sample_edges is None else sample_edges)
+    # Group queries by source so one bounded BFS serves many edges.
+    by_source: Dict[int, List[int]] = {}
+    for (u, v) in to_check:
+        by_source.setdefault(u, []).append(v)
+
+    max_stretch = 0
+    worst_edge: Optional[Edge] = None
+    disconnected = 0
+    for source, targets in by_source.items():
+        distances = _bounded_bfs(spanner_adj, source, limit)
+        for target in targets:
+            d = distances.get(target)
+            if d is None:
+                disconnected += 1
+                worst_edge = worst_edge or (source, target)
+                continue
+            if d > max_stretch:
+                max_stretch = d
+                worst_edge = (source, target)
+    return StretchReport(
+        max_stretch=max_stretch if to_check else 0,
+        disconnected_edges=disconnected,
+        checked_edges=len(to_check),
+        worst_edge=worst_edge,
+    )
+
+
+def _bounded_bfs(
+    adjacency: Dict[int, List[int]], source: int, limit: Optional[int]
+) -> Dict[int, int]:
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        x = queue.popleft()
+        dx = distances[x]
+        if limit is not None and dx >= limit:
+            continue
+        for w in adjacency.get(x, ()):  # spanner adjacency
+            if w not in distances:
+                distances[w] = dx + 1
+                queue.append(w)
+    return distances
+
+
+def verify_spanner(
+    graph: Graph, spanner_edges: Iterable[Edge], stretch_bound: int
+) -> StretchReport:
+    """Check that the given edges form a ``stretch_bound``-spanner of ``G``."""
+    report = measure_stretch(graph, spanner_edges, limit=stretch_bound + 1)
+    return report
+
+
+def preserves_connectivity(graph: Graph, spanner_edges: Iterable[Edge]) -> bool:
+    """Whether the spanner has the same connected components as ``G``."""
+    spanner = graph.subgraph_with_edges(spanner_edges)
+    original = {frozenset(c) for c in connected_components(graph)}
+    kept = {frozenset(c) for c in connected_components(spanner)}
+    return original == kept
+
+
+def spanner_is_connected(graph: Graph, spanner_edges: Iterable[Edge]) -> bool:
+    """Whether the spanner is connected (only meaningful for connected G)."""
+    if not is_connected(graph):
+        return preserves_connectivity(graph, spanner_edges)
+    return is_connected(graph.subgraph_with_edges(spanner_edges))
+
+
+def density_ratio(graph: Graph, spanner_edges: Iterable[Edge]) -> float:
+    """|H| / |G| — the sparsification achieved by the spanner."""
+    spanner_size = len({canonical_edge(u, v) for (u, v) in spanner_edges})
+    if graph.num_edges == 0:
+        return 0.0
+    return spanner_size / graph.num_edges
+
+
+def size_against_bound(num_edges: int, bound: float) -> float:
+    """|H| divided by the theoretical bound (≤ O(polylog) for a faithful run)."""
+    if bound <= 0:
+        return float("inf")
+    return num_edges / bound

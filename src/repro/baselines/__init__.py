@@ -1,0 +1,23 @@
+"""Baselines: global spanner algorithms and prior-work LCA comparators."""
+
+from .baswana_sen import baswana_sen_spanner, expected_size_bound
+from .distributed import (
+    BaswanaSenRun,
+    ClusterSampler,
+    adjacency_from_edges,
+    simulate_baswana_sen,
+)
+from .greedy import greedy_size_bound, greedy_spanner
+from .sparse_spanning import SparseSpanningSubgraphLCA
+
+__all__ = [
+    "baswana_sen_spanner",
+    "expected_size_bound",
+    "greedy_spanner",
+    "greedy_size_bound",
+    "ClusterSampler",
+    "BaswanaSenRun",
+    "simulate_baswana_sen",
+    "adjacency_from_edges",
+    "SparseSpanningSubgraphLCA",
+]

@@ -1,0 +1,61 @@
+"""Global Baswana–Sen (2k−1)-spanner baseline.
+
+This is the classical randomized algorithm (Baswana & Sen, 2007) the paper's
+distributed and local constructions are modelled on.  It reads the whole
+graph, so it is *not* an LCA; it serves as the folklore size/stretch
+reference point for Table 1 ("who wins and by how much") and as an oracle for
+tests (every LCA spanner should be within polylog factors of it in size on
+the same instance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..core.seed import Seed, SeedLike
+from ..graphs.graph import Graph
+from .distributed import ClusterSampler, adjacency_from_edges, simulate_baswana_sen
+
+Edge = Tuple[int, int]
+
+
+def baswana_sen_spanner(
+    graph: Graph,
+    stretch_parameter: int,
+    seed: SeedLike = 0,
+    independence: Optional[int] = None,
+) -> Set[Edge]:
+    """Compute a (2k−1)-spanner of the whole graph.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    stretch_parameter:
+        The ``k`` of the (2k−1) stretch guarantee.
+    seed:
+        Randomness seed (cluster sampling per level).
+    independence:
+        Hash-family independence (defaults to Θ(log n)).
+
+    Returns
+    -------
+    set of edges
+        The spanner edge set (canonical tuples).  Expected size is
+        O(k · n^{1 + 1/k}).
+    """
+    sampler = ClusterSampler(
+        Seed.of(seed).derive("baswana-sen-global"),
+        stretch_parameter=stretch_parameter,
+        num_vertices_global=graph.num_vertices,
+        independence=independence,
+    )
+    adjacency = adjacency_from_edges(graph.vertices(), graph.edges())
+    run = simulate_baswana_sen(adjacency, sampler)
+    return run.all_edges()
+
+
+def expected_size_bound(num_vertices: int, stretch_parameter: int) -> float:
+    """The O(k · n^{1+1/k}) size bound (without constants), for reporting."""
+    k = max(1, int(stretch_parameter))
+    return k * float(num_vertices) ** (1.0 + 1.0 / k)

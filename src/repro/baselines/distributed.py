@@ -1,0 +1,192 @@
+"""Round-by-round simulation of the Baswana–Sen distributed spanner algorithm.
+
+The O(k²)-spanner LCA handles its sparse region by *locally simulating* a
+k-round distributed (2k−1)-spanner algorithm (Theorem 4.4 quotes Baswana–Sen
+with the bounded-independence analysis of Censor-Hillel, Parter and
+Schwartzman).  The simulation below is written so that every vertex's
+decisions depend only on its k-neighborhood in the simulated graph and on the
+shared hash functions — this is what makes the local simulation exact: running
+it on a gathered ball around the query edge reproduces the decisions the
+vertex would make in the full graph.
+
+The same engine, run on the whole graph, doubles as the *global* Baswana–Sen
+baseline used in the Table 1 benchmarks.
+
+Algorithm (unweighted Baswana–Sen, phases as in the original paper):
+
+* Every vertex starts as the center of its own level-0 cluster.
+* For levels ``i = 1 .. k−1``: each level-(i−1) cluster is sampled with
+  probability ``n^{-1/k}`` (a hash of its center, so sampling is consistent
+  everywhere).  A vertex whose cluster is sampled stays put.  A vertex whose
+  cluster is not sampled joins an adjacent sampled cluster through one edge
+  if it has one; otherwise it adds one edge to *each* adjacent cluster and
+  becomes unclustered forever.
+* Phase 2 (level ``k``): every vertex adds one edge to each adjacent
+  level-(k−1) cluster other than its own.
+
+The result is a (2k−1)-spanner with O(k·n^{1+1/k}) edges in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ParameterError
+from ..core.ids import canonical_edge
+from ..core.seed import Seed, SeedLike
+from ..rand.kwise import KWiseHashFamily, recommended_independence
+
+Edge = Tuple[int, int]
+Adjacency = Mapping[int, Sequence[int]]
+
+
+class ClusterSampler:
+    """Per-level cluster sampling shared by every simulated vertex.
+
+    Level ``i`` uses its own Θ(log n)-wise independent hash function, so the
+    whole randomness of the distributed algorithm fits in O(log² n) bits
+    (Section 5's requirement).
+    """
+
+    def __init__(
+        self,
+        seed: SeedLike,
+        stretch_parameter: int,
+        num_vertices_global: int,
+        independence: Optional[int] = None,
+    ) -> None:
+        if stretch_parameter < 1:
+            raise ParameterError("the stretch parameter k must be at least 1")
+        if num_vertices_global < 1:
+            raise ParameterError("the global vertex count must be positive")
+        self.stretch_parameter = int(stretch_parameter)
+        self.num_vertices_global = int(num_vertices_global)
+        if independence is None:
+            independence = recommended_independence(num_vertices_global)
+        family = KWiseHashFamily(Seed.of(seed), independence)
+        self._level_hashes = family.members("bs-level", self.stretch_parameter)
+        self.sampling_probability = float(num_vertices_global) ** (
+            -1.0 / self.stretch_parameter
+        )
+
+    def is_sampled(self, level: int, center: int) -> bool:
+        """Whether the cluster centered at ``center`` survives to ``level``."""
+        if not 1 <= level <= self.stretch_parameter:
+            raise ParameterError("level out of range")
+        return self._level_hashes[level - 1].bernoulli(
+            center, self.sampling_probability
+        )
+
+
+@dataclass
+class BaswanaSenRun:
+    """Outcome of a Baswana–Sen simulation on a (sub)graph."""
+
+    #: Edges added, attributed to the vertex that added them.
+    added_by: Dict[int, Set[Edge]] = field(default_factory=dict)
+    #: Final cluster center of every vertex (``None`` when unclustered).
+    final_cluster: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    def all_edges(self) -> Set[Edge]:
+        edges: Set[Edge] = set()
+        for per_vertex in self.added_by.values():
+            edges |= per_vertex
+        return edges
+
+    def edges_added_by(self, vertex: int) -> Set[Edge]:
+        return self.added_by.get(vertex, set())
+
+    def edge_in_spanner(self, u: int, v: int) -> bool:
+        """Theorem 4.4: the edge is kept iff *some* endpoint chose to add it."""
+        edge = canonical_edge(u, v)
+        return edge in self.edges_added_by(u) or edge in self.edges_added_by(v)
+
+
+def simulate_baswana_sen(
+    adjacency: Adjacency,
+    sampler: ClusterSampler,
+) -> BaswanaSenRun:
+    """Run the k-round Baswana–Sen algorithm on the given adjacency structure.
+
+    ``adjacency`` maps every participating vertex to its neighbors *within the
+    simulated graph*; it must be symmetric.  The run is deterministic given
+    the sampler, and every vertex's output depends only on its k-neighborhood,
+    which is what the LCA's local simulation relies on.
+    """
+    k = sampler.stretch_parameter
+    vertices = list(adjacency.keys())
+    cluster: Dict[int, Optional[int]] = {v: v for v in vertices}
+    run = BaswanaSenRun(
+        added_by={v: set() for v in vertices},
+        final_cluster={},
+    )
+
+    def adjacent_clusters(v: int, state: Dict[int, Optional[int]]) -> Dict[int, int]:
+        """Map each adjacent cluster center to the minimum-ID witness neighbor."""
+        witnesses: Dict[int, int] = {}
+        for w in adjacency[v]:
+            if w not in state:
+                continue
+            center = state[w]
+            if center is None:
+                continue
+            if center not in witnesses or w < witnesses[center]:
+                witnesses[center] = w
+        return witnesses
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: levels 1 .. k-1
+    # ------------------------------------------------------------------ #
+    for level in range(1, k):
+        next_cluster: Dict[int, Optional[int]] = {}
+        for v in vertices:
+            own = cluster[v]
+            if own is None:
+                next_cluster[v] = None
+                continue
+            if sampler.is_sampled(level, own):
+                next_cluster[v] = own
+                continue
+            witnesses = adjacent_clusters(v, cluster)
+            sampled_adjacent = {
+                center: witness
+                for center, witness in witnesses.items()
+                if sampler.is_sampled(level, center)
+            }
+            if sampled_adjacent:
+                center, witness = min(sampled_adjacent.items())
+                run.added_by[v].add(canonical_edge(v, witness))
+                next_cluster[v] = center
+            else:
+                for center, witness in witnesses.items():
+                    if center == own:
+                        continue
+                    run.added_by[v].add(canonical_edge(v, witness))
+                next_cluster[v] = None
+        cluster = next_cluster
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: connect every vertex to each adjacent surviving cluster
+    # ------------------------------------------------------------------ #
+    for v in vertices:
+        witnesses = adjacent_clusters(v, cluster)
+        for center, witness in witnesses.items():
+            if center == cluster[v]:
+                continue
+            run.added_by[v].add(canonical_edge(v, witness))
+
+    run.final_cluster = dict(cluster)
+    return run
+
+
+def adjacency_from_edges(
+    vertices: Iterable[int], edges: Iterable[Edge]
+) -> Dict[int, List[int]]:
+    """Build a symmetric adjacency mapping from a vertex set and edge list."""
+    adjacency: Dict[int, List[int]] = {int(v): [] for v in vertices}
+    for (u, v) in edges:
+        if u in adjacency and v in adjacency:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    return adjacency

@@ -1,0 +1,83 @@
+"""Greedy (2k−1)-spanner baseline (Althöfer et al.).
+
+The greedy algorithm scans the edges in a fixed order and keeps an edge
+whenever the current spanner does not already provide a path of length at
+most ``2k−1`` between its endpoints.  It produces spanners matching the
+folklore size bound O(n^{1+1/k}) (with the best constants known), at the cost
+of reading the entire graph — it is the quality yardstick against which the
+LCA spanners' sizes are compared in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.ids import canonical_edge
+from ..graphs.graph import Graph
+
+Edge = Tuple[int, int]
+
+
+def _bounded_distance(
+    adjacency: Dict[int, List[int]], source: int, target: int, limit: int
+) -> Optional[int]:
+    """Distance between two vertices in the partial spanner, capped at limit."""
+    if source == target:
+        return 0
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        x = queue.popleft()
+        dx = distances[x]
+        if dx >= limit:
+            continue
+        for w in adjacency.get(x, ()):  # adjacency of the partial spanner
+            if w not in distances:
+                distances[w] = dx + 1
+                if w == target:
+                    return dx + 1
+                queue.append(w)
+    return None
+
+
+def greedy_spanner(
+    graph: Graph,
+    stretch_parameter: int,
+    edge_order: Optional[Iterable[Edge]] = None,
+) -> Set[Edge]:
+    """Compute a greedy (2k−1)-spanner.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    stretch_parameter:
+        The ``k`` in the (2k−1) stretch target.
+    edge_order:
+        Optional explicit edge processing order; the default is the canonical
+        edge order (sorted by endpoint IDs), which makes the output
+        deterministic.
+
+    Returns
+    -------
+    set of edges
+        Spanner edges (canonical tuples).
+    """
+    limit = 2 * int(stretch_parameter) - 1
+    edges = sorted(graph.edges()) if edge_order is None else list(edge_order)
+    adjacency: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
+    spanner: Set[Edge] = set()
+    for (u, v) in edges:
+        within = _bounded_distance(adjacency, u, v, limit)
+        if within is None:
+            spanner.add(canonical_edge(u, v))
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    return spanner
+
+
+def greedy_size_bound(num_vertices: int, stretch_parameter: int) -> float:
+    """The folklore O(n^{1+1/k}) size bound (without constants)."""
+    k = max(1, int(stretch_parameter))
+    return float(num_vertices) ** (1.0 + 1.0 / k)

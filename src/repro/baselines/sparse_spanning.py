@@ -1,0 +1,103 @@
+"""Prior-work comparator: an LCA for sparse *spanning* subgraphs.
+
+Table 1 of the paper contrasts the new spanner LCAs against earlier LCAs for
+sparse connected subgraphs (Levi–Ron–Rubinfeld and follow-ups), whose goal is
+connectivity with (1+ε)n edges but whose stretch is not analyzed (it can be
+as large as n).  This module implements the classic rank-based variant of
+that line of work so the comparison rows of Table 1 can be produced:
+
+    keep the edge (u, v) unless there is a path of length at most ``radius``
+    between u and v consisting solely of edges of *smaller random rank*.
+
+Removing only edges that are locally "rank-maximal on a short cycle"
+preserves connectivity (the standard cycle/matroid argument), and on
+bounded-degree graphs each query costs O(Δ^radius) probes — exponential in
+the radius, which is exactly the behaviour the paper's constructions improve
+upon for high-degree graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.ids import canonical_edge
+from ..core.lca import SpannerLCA
+from ..core.oracle import AdjacencyListOracle
+from ..core.registry import register
+from ..core.seed import SeedLike
+from ..graphs.graph import Graph
+from ..rand.kwise import KWiseHash, recommended_independence
+
+Edge = Tuple[int, int]
+
+
+class SparseSpanningSubgraphLCA(SpannerLCA):
+    """Rank-based LCA for a sparse connected spanning subgraph.
+
+    Parameters
+    ----------
+    radius:
+        The exploration radius ``r``; an edge is dropped when a shorter-rank
+        path of length ≤ ``radius`` connects its endpoints.  Larger radii give
+        sparser subgraphs at exponentially larger probe cost.
+    """
+
+    name = "sparse-spanning"
+
+    def __init__(self, graph: Graph, seed: SeedLike, radius: int = 3) -> None:
+        super().__init__(graph, seed)
+        self.radius = max(1, int(radius))
+        independence = recommended_independence(graph.num_vertices)
+        self._rank_hash = KWiseHash(
+            self._derive_seed("sparse-spanning/edge-ranks"), independence
+        )
+
+    def stretch_bound(self) -> Optional[int]:
+        # Connectivity is guaranteed; the stretch is not analyzed (Table 1 "−").
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Edge ranks
+    # ------------------------------------------------------------------ #
+    def edge_rank(self, u: int, v: int) -> Tuple[int, Tuple[int, int]]:
+        """Random rank of an edge; ties broken by the canonical edge ID."""
+        edge = canonical_edge(u, v)
+        key = (edge[0] << 32) ^ edge[1]
+        return (self._rank_hash.value(key), edge)
+
+    # ------------------------------------------------------------------ #
+    # Decision rule
+    # ------------------------------------------------------------------ #
+    def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
+        target_rank = self.edge_rank(u, v)
+
+        # Breadth-first exploration from u using only lower-rank edges,
+        # bounded by ``radius`` hops; the query edge itself is excluded.
+        frontier: List[int] = [u]
+        distances: Dict[int, int] = {u: 0}
+        forbidden = canonical_edge(u, v)
+        while frontier:
+            next_frontier: List[int] = []
+            for x in frontier:
+                if distances[x] >= self.radius:
+                    continue
+                for w in oracle.all_neighbors(x):
+                    if canonical_edge(x, w) == forbidden:
+                        continue
+                    if self.edge_rank(x, w) >= target_rank:
+                        continue
+                    if w in distances:
+                        continue
+                    distances[w] = distances[x] + 1
+                    if w == v:
+                        return False
+                    next_frontier.append(w)
+            frontier = next_frontier
+        return True
+
+
+@register("sparse-spanning")
+def _make_sparse_spanning(
+    graph: Graph, seed: SeedLike, radius: int = 3, **kwargs
+) -> SparseSpanningSubgraphLCA:
+    return SparseSpanningSubgraphLCA(graph, seed, radius=radius)

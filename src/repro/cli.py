@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+The CLI wraps the most common workflows so the library can be exercised
+without writing Python:
+
+* ``repro-lca query``      — answer spanner queries for specific edges,
+* ``repro-lca evaluate``   — materialize + verify an LCA on a graph,
+* ``repro-lca generate``   — write one of the built-in synthetic workloads,
+* ``repro-lca sweep``      — size/probe scaling sweep with exponent fits,
+* ``repro-lca lowerbound`` — the Theorem 1.3 distinguishing experiment,
+* ``repro-lca list``       — list the registered constructions.
+
+Graphs are read from edge-list files (see :mod:`repro.graphs.io`) or
+generated on the fly with ``--generate``.
+
+Usage examples::
+
+    python -m repro.cli list
+    python -m repro.cli generate --family gnp --n 400 --density 0.1 --out g.txt
+    python -m repro.cli evaluate --graph g.txt --algorithm spanner3 --seed 7
+    python -m repro.cli query --graph g.txt --algorithm spanner5 --edge 3,17 --edge 5,8
+    python -m repro.cli sweep --algorithm spanner3 --sizes 200,400,800
+    python -m repro.cli lowerbound --n 202 --budget 14 --trials 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from . import graphs
+from .analysis import evaluate_lca, exponent_row, format_table, run_sweep
+from .core.registry import available, create
+from .graphs.io import read_edge_list, write_edge_list
+from .lowerbound import run_distinguishing_experiment
+
+
+# --------------------------------------------------------------------------- #
+# Graph acquisition
+# --------------------------------------------------------------------------- #
+GENERATORS = {
+    "gnp": lambda n, density, seed: graphs.gnp_graph(n, density, seed=seed),
+    "clustered": lambda n, density, seed: graphs.dense_cluster_graph(
+        n, max(2, n // 10), inter_probability=density, seed=seed
+    ),
+    "power-law": lambda n, density, seed: graphs.power_law_graph(n, seed=seed),
+    "bounded": lambda n, density, seed: graphs.bounded_degree_expanderish(
+        n if n % 2 == 0 else n + 1, d=6, seed=seed
+    ),
+    "hubs": lambda n, density, seed: graphs.planted_hub_graph(
+        n, num_hubs=max(2, n // 50), hub_degree=max(10, n // 3), seed=seed
+    ),
+    "grid": lambda n, density, seed: graphs.grid_graph(
+        max(2, int(round(n ** 0.5))), max(2, int(round(n ** 0.5))), seed=seed
+    ),
+}
+
+
+def _load_graph(args) -> graphs.Graph:
+    if getattr(args, "graph", None):
+        return read_edge_list(args.graph)
+    family = getattr(args, "generate", None) or "gnp"
+    if family not in GENERATORS:
+        raise SystemExit(f"unknown graph family {family!r}; choices: {sorted(GENERATORS)}")
+    return GENERATORS[family](args.n, args.density, args.seed)
+
+
+def _parse_edges(values: Sequence[str]) -> List[Tuple[int, int]]:
+    edges = []
+    for value in values:
+        parts = value.replace(",", " ").split()
+        if len(parts) != 2:
+            raise SystemExit(f"cannot parse edge {value!r}; expected 'u,v'")
+        edges.append((int(parts[0]), int(parts[1])))
+    return edges
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def cmd_list(_args) -> int:
+    rows = [{"algorithm": name} for name in available()]
+    print(format_table(rows, title="Registered LCA constructions"))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    graph = _load_graph(args)
+    write_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    graph = _load_graph(args)
+    lca = create(args.algorithm, graph, seed=args.seed)
+    edges = _parse_edges(args.edge) if args.edge else list(graph.edges())[: args.count]
+    rows = []
+    for (u, v) in edges:
+        outcome = lca.query_with_stats(u, v)
+        rows.append(
+            {
+                "edge": f"({u}, {v})",
+                "in spanner": outcome.in_spanner,
+                "probes": outcome.probe_total,
+            }
+        )
+    print(format_table(rows, title=f"{args.algorithm} on {graph}"))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    graph = _load_graph(args)
+    lca = create(args.algorithm, graph, seed=args.seed)
+    report = evaluate_lca(lca, sample_stretch_edges=args.stretch_sample)
+    print(format_table([report.as_row()], title=f"{args.algorithm} evaluation"))
+    if not report.stretch_ok:
+        print("WARNING: measured stretch exceeds the declared bound", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    sweep = run_sweep(
+        args.algorithm,
+        lca_factory=lambda g, s: create(args.algorithm, g, seed=s),
+        graph_factory=lambda n, s: graphs.gnp_graph(n, args.density, seed=s),
+        sizes=sizes,
+        seed=args.seed,
+        materialize=False,
+        probe_queries=args.queries,
+    )
+    print(format_table(sweep.rows(), title=f"{args.algorithm} scaling sweep"))
+    print(
+        format_table(
+            [
+                exponent_row(
+                    sweep,
+                    target_size_exponent=args.target_size_exponent,
+                    target_probe_exponent=args.target_probe_exponent,
+                )
+            ],
+            title="Fitted exponents",
+        )
+    )
+    return 0
+
+
+def cmd_lowerbound(args) -> int:
+    result = run_distinguishing_experiment(
+        num_vertices=args.n,
+        degree=args.degree,
+        probe_budget=args.budget,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    rows = [
+        {
+            "n": result.num_vertices,
+            "d": result.degree,
+            "probe budget": result.probe_budget,
+            "threshold min(sqrt(n), n/d)": round(result.theory_threshold, 1),
+            "success rate": round(result.success_rate, 3),
+            "advantage": round(result.advantage, 3),
+        }
+    ]
+    print(format_table(rows, title="Theorem 1.3 distinguishing experiment"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def _add_graph_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", help="edge-list file to read the graph from")
+    parser.add_argument(
+        "--generate",
+        choices=sorted(GENERATORS),
+        help="generate a synthetic graph instead of reading one",
+    )
+    parser.add_argument("--n", type=int, default=300, help="generated graph size")
+    parser.add_argument(
+        "--density", type=float, default=0.1, help="generated graph density parameter"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lca",
+        description="Local computation algorithms for graph spanners (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered LCA constructions").set_defaults(
+        handler=cmd_list
+    )
+
+    generate = sub.add_parser("generate", help="write a synthetic workload graph")
+    _add_graph_options(generate)
+    generate.add_argument("--family", dest="generate", choices=sorted(GENERATORS))
+    generate.add_argument("--out", required=True, help="output edge-list path")
+    generate.set_defaults(handler=cmd_generate)
+
+    query = sub.add_parser("query", help="answer spanner queries for edges")
+    _add_graph_options(query)
+    query.add_argument("--algorithm", default="spanner3", help="registered LCA name")
+    query.add_argument(
+        "--edge", action="append", help="edge to query as 'u,v' (repeatable)"
+    )
+    query.add_argument(
+        "--count", type=int, default=10, help="query the first COUNT edges when --edge is absent"
+    )
+    query.set_defaults(handler=cmd_query)
+
+    evaluate = sub.add_parser("evaluate", help="materialize and verify an LCA")
+    _add_graph_options(evaluate)
+    evaluate.add_argument("--algorithm", default="spanner3")
+    evaluate.add_argument(
+        "--stretch-sample",
+        type=int,
+        default=None,
+        help="verify stretch on a sample of edges instead of all of them",
+    )
+    evaluate.set_defaults(handler=cmd_evaluate)
+
+    sweep = sub.add_parser("sweep", help="size/probe scaling sweep")
+    sweep.add_argument("--algorithm", default="spanner3")
+    sweep.add_argument("--sizes", default="200,400,800")
+    sweep.add_argument("--density", type=float, default=0.12)
+    sweep.add_argument("--queries", type=int, default=80)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--target-size-exponent", type=float, default=1.5)
+    sweep.add_argument("--target-probe-exponent", type=float, default=0.75)
+    sweep.set_defaults(handler=cmd_sweep)
+
+    lower = sub.add_parser("lowerbound", help="Theorem 1.3 distinguishing experiment")
+    lower.add_argument("--n", type=int, default=202)
+    lower.add_argument("--degree", type=int, default=3)
+    lower.add_argument("--budget", type=int, default=14)
+    lower.add_argument("--trials", type=int, default=10)
+    lower.add_argument("--seed", type=int, default=1)
+    lower.set_defaults(handler=cmd_lowerbound)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

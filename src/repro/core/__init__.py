@@ -1,0 +1,76 @@
+"""Core LCA framework: probe oracle, probe accounting, base classes, seeds."""
+
+from .errors import (
+    ConsistencyError,
+    GraphError,
+    NotAnEdgeError,
+    ParameterError,
+    ProbeBudgetExceededError,
+    ReproError,
+    SeedError,
+    UnknownVertexError,
+)
+from .ids import (
+    canonical_edge,
+    canonical_edge_id,
+    canonicalize_edges,
+    min_edge_by_canonical_id,
+    min_edge_by_ordered_id,
+    ordered_edge_id,
+    vertex_id,
+)
+from .lca import (
+    CombinedLCA,
+    EdgeQueryResult,
+    KeepAllLCA,
+    LCADescription,
+    MaterializedSpanner,
+    PAPER_RESULTS,
+    SpannerLCA,
+)
+from .oracle import AdjacencyListOracle, SubgraphOracle
+from .probes import (
+    ADJACENCY,
+    DEGREE,
+    NEIGHBOR,
+    ProbeCounter,
+    ProbeMeasurement,
+    ProbeSnapshot,
+    ProbeStatistics,
+)
+from .seed import Seed
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "UnknownVertexError",
+    "NotAnEdgeError",
+    "ProbeBudgetExceededError",
+    "ParameterError",
+    "SeedError",
+    "ConsistencyError",
+    "vertex_id",
+    "ordered_edge_id",
+    "canonical_edge_id",
+    "canonical_edge",
+    "canonicalize_edges",
+    "min_edge_by_ordered_id",
+    "min_edge_by_canonical_id",
+    "SpannerLCA",
+    "CombinedLCA",
+    "KeepAllLCA",
+    "EdgeQueryResult",
+    "MaterializedSpanner",
+    "LCADescription",
+    "PAPER_RESULTS",
+    "AdjacencyListOracle",
+    "SubgraphOracle",
+    "ProbeCounter",
+    "ProbeSnapshot",
+    "ProbeMeasurement",
+    "ProbeStatistics",
+    "NEIGHBOR",
+    "DEGREE",
+    "ADJACENCY",
+    "Seed",
+]

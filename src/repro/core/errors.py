@@ -1,0 +1,64 @@
+"""Exception types used throughout the library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed or inconsistent graph inputs."""
+
+
+class UnknownVertexError(GraphError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class NotAnEdgeError(GraphError):
+    """Raised when an LCA is queried on a pair that is not an edge of ``G``.
+
+    Definition 1.4 only defines LCA answers for query pairs ``(u, v)`` that
+    are edges of the input graph, so querying a non-edge is a caller bug.
+    """
+
+    def __init__(self, u, v) -> None:
+        super().__init__(f"({u!r}, {v!r}) is not an edge of the input graph")
+        self.u = u
+        self.v = v
+
+
+class ProbeBudgetExceededError(ReproError):
+    """Raised when a query exceeds its configured probe budget."""
+
+    def __init__(self, budget: int, used: int) -> None:
+        super().__init__(
+            f"probe budget exceeded: budget={budget}, probes used={used}"
+        )
+        self.budget = budget
+        self.used = used
+
+
+class ParameterError(ReproError):
+    """Raised for invalid algorithm parameters (stretch, thresholds, ...)."""
+
+
+class SeedError(ReproError):
+    """Raised for invalid random-seed material."""
+
+
+class ConsistencyError(ReproError):
+    """Raised when an LCA produces answers inconsistent with a single spanner.
+
+    This should never happen for the algorithms in this library; the error
+    exists so the verification harness can report a violated contract loudly
+    instead of silently producing a wrong experimental result.
+    """

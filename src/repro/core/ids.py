@@ -1,0 +1,95 @@
+"""Vertex and edge identifier utilities.
+
+The paper labels each vertex with a unique O(log n)-bit identifier and never
+assumes the identifiers form the range ``0..n-1``.  Throughout this library a
+*vertex* is any Python integer (its ``ID`` is the integer itself) and an
+*edge identifier* is the pair of endpoint identifiers, compared
+lexicographically exactly as in Section 3 ("define the ID of an edge (u, v) as
+(ID(u), ID(v)), where the comparison between edge IDs is lexicographic").
+
+Two flavours of edge identifier are used:
+
+* :func:`ordered_edge_id` — the identifier of a *directed* occurrence of an
+  edge, used when the construction distinguishes the two sides (e.g. "the edge
+  of minimum ID in ``E(A, B)``" where ``A`` and ``B`` play different roles).
+* :func:`canonical_edge_id` — the identifier of an *undirected* edge, with the
+  smaller endpoint first; used whenever a rule must not depend on which
+  endpoint the query presented first.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+Vertex = int
+Edge = Tuple[int, int]
+
+
+def vertex_id(v: Vertex) -> int:
+    """Return the numeric identifier of a vertex.
+
+    Vertices *are* their identifiers in this library; the function exists so
+    call sites read like the paper ("ID(v)") and so an alternative labelling
+    scheme could be swapped in at a single point.
+    """
+    return int(v)
+
+
+def ordered_edge_id(u: Vertex, v: Vertex) -> Tuple[int, int]:
+    """Identifier of the ordered pair ``(u, v)``: ``(ID(u), ID(v))``."""
+    return (vertex_id(u), vertex_id(v))
+
+
+def canonical_edge_id(u: Vertex, v: Vertex) -> Tuple[int, int]:
+    """Identifier of the undirected edge ``{u, v}`` (smaller ID first)."""
+    a, b = vertex_id(u), vertex_id(v)
+    return (a, b) if a <= b else (b, a)
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the undirected edge ``{u, v}`` as a canonically ordered tuple."""
+    return canonical_edge_id(u, v)
+
+
+def canonicalize_edges(edges: Iterable[Tuple[Vertex, Vertex]]) -> set:
+    """Return the set of canonical edge tuples for an iterable of pairs."""
+    return {canonical_edge(u, v) for (u, v) in edges}
+
+
+def is_self_loop(u: Vertex, v: Vertex) -> bool:
+    """Return ``True`` when the pair describes a self loop."""
+    return vertex_id(u) == vertex_id(v)
+
+
+def min_edge_by_ordered_id(edges: Iterable[Tuple[Vertex, Vertex]]):
+    """Return the edge with lexicographically smallest ordered ID, or ``None``.
+
+    Ties cannot occur for simple graphs because ordered IDs are unique per
+    ordered pair.
+    """
+    best = None
+    best_key = None
+    for (u, v) in edges:
+        key = ordered_edge_id(u, v)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (u, v)
+    return best
+
+
+def min_edge_by_canonical_id(edges: Iterable[Tuple[Vertex, Vertex]]):
+    """Return the edge with smallest canonical (unordered) ID, or ``None``."""
+    best = None
+    best_key = None
+    for (u, v) in edges:
+        key = canonical_edge_id(u, v)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (u, v)
+    return best
+
+
+def require_hashable(obj: Hashable) -> Hashable:
+    """Validate that an object is hashable (useful for defensive checks)."""
+    hash(obj)
+    return obj

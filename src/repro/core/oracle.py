@@ -1,0 +1,140 @@
+"""The adjacency-list probe oracle ``O_G``.
+
+Section 1.4 of the paper defines three probe types, all answered in a single
+step by the oracle:
+
+* ``Neighbor(v, i)`` — the ``i``-th neighbor of ``v`` (or ``⊥``),
+* ``Degree(v)`` — ``deg(v)``,
+* ``Adjacency(u, v)`` — the index of ``v`` inside ``Γ(u)`` (or ``⊥``).
+
+:class:`AdjacencyListOracle` exposes exactly these three operations, counts
+every call through a :class:`~repro.core.probes.ProbeCounter`, and is the
+*only* handle the LCAs in this library receive to the input graph, so probe
+accounting cannot be bypassed accidentally.
+
+Indices are 0-based; the paper's "first t neighbors of v" corresponds to
+indices ``0 .. t-1`` here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .probes import ADJACENCY, DEGREE, NEIGHBOR, ProbeCounter
+from ..graphs.graph import Graph, Vertex
+
+
+class AdjacencyListOracle:
+    """Probe oracle over a static :class:`~repro.graphs.graph.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    counter:
+        Probe counter; a fresh one is created when omitted.
+    """
+
+    def __init__(self, graph: Graph, counter: Optional[ProbeCounter] = None) -> None:
+        self._graph = graph
+        self.counter = counter if counter is not None else ProbeCounter()
+
+    # ------------------------------------------------------------------ #
+    # The three probe primitives
+    # ------------------------------------------------------------------ #
+    def degree(self, v: Vertex) -> int:
+        """``Degree`` probe: return ``deg(v)``."""
+        self.counter.record(DEGREE)
+        return self._graph.degree(v)
+
+    def neighbor(self, v: Vertex, index: int) -> Optional[Vertex]:
+        """``Neighbor`` probe: the ``index``-th (0-based) neighbor of ``v``.
+
+        Returns ``None`` (the paper's ``⊥``) when ``index`` is out of range.
+        """
+        self.counter.record(NEIGHBOR)
+        return self._graph.neighbor_at(v, index)
+
+    def adjacency(self, u: Vertex, v: Vertex) -> Optional[int]:
+        """``Adjacency`` probe on the *ordered* pair ``⟨u, v⟩``.
+
+        Returns the 0-based index of ``v`` inside ``Γ(u)`` when the edge
+        exists and ``None`` otherwise.
+        """
+        self.counter.record(ADJACENCY)
+        return self._graph.adjacency_index(u, v)
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers built on the primitives (each probe is counted)
+    # ------------------------------------------------------------------ #
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether ``(u, v)`` is an edge, via a single ``Adjacency`` probe."""
+        return self.adjacency(u, v) is not None
+
+    def neighbors_prefix(self, v: Vertex, count: int) -> List[Vertex]:
+        """The first ``count`` neighbors of ``v`` (fewer if deg(v) < count).
+
+        Uses one ``Degree`` probe plus ``min(count, deg(v))`` ``Neighbor``
+        probes — this is the "Γ_{Δ,1}(v)" block-prefix primitive used all over
+        the 3- and 5-spanner constructions.
+        """
+        deg = self.degree(v)
+        limit = min(int(count), deg)
+        return [self.neighbor(v, i) for i in range(limit)]
+
+    def neighbors_block(self, v: Vertex, block_size: int, block_index: int) -> List[Vertex]:
+        """The ``block_index``-th block of size ``block_size`` of ``Γ(v)``.
+
+        Blocks partition the neighbor list into consecutive parts
+        ``Γ_{Δ,1}(v), Γ_{Δ,2}(v), ...`` as in Section 1.4.  The last block of
+        the paper may have up to ``2Δ`` vertices; here, for simplicity and
+        consistency, blocks are exactly ``block_size`` long except the final
+        one which contains the remainder (possibly shorter).  All algorithms
+        only rely on blocks being a consistent partition of the neighbor list.
+        """
+        deg = self.degree(v)
+        start = block_index * block_size
+        stop = min(start + block_size, deg)
+        if start >= deg:
+            return []
+        return [self.neighbor(v, i) for i in range(start, stop)]
+
+    def all_neighbors(self, v: Vertex) -> List[Vertex]:
+        """The entire neighbor list Γ(v) (deg(v) ``Neighbor`` probes + 1 degree)."""
+        deg = self.degree(v)
+        return [self.neighbor(v, i) for i in range(deg)]
+
+    def neighbor_index(self, u: Vertex, v: Vertex) -> Optional[int]:
+        """Alias of :meth:`adjacency` matching the paper's phrasing."""
+        return self.adjacency(u, v)
+
+    # ------------------------------------------------------------------ #
+    # Metadata that the LCA model allows the algorithm to know for free
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """``n`` — known to the algorithm (standard LCA assumption)."""
+        return self._graph.num_vertices
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph.
+
+        Exposed for harness / verification code only; LCA implementations
+        must not touch it (doing so would bypass probe accounting).
+        """
+        return self._graph
+
+
+class SubgraphOracle(AdjacencyListOracle):
+    """Oracle restricted to a vertex subset, sharing the parent's counter.
+
+    Used by the local simulation of distributed algorithms, where the LCA has
+    already gathered a ball around the query edge and keeps simulating on the
+    gathered subgraph without additional probes.  Construction of the ball
+    itself must go through the parent oracle so its probes are counted.
+    """
+
+    def __init__(self, parent: AdjacencyListOracle, vertices: Sequence[Vertex]) -> None:
+        subgraph = parent.graph.induced_subgraph(vertices)
+        super().__init__(subgraph, counter=parent.counter)

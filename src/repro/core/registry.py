@@ -1,0 +1,62 @@
+"""Registry of LCA constructions.
+
+Benchmarks, examples and the command-line harness look up constructions by
+name instead of importing concrete classes, so new constructions (or ablated
+variants) can be added without touching the harness code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from .errors import ParameterError
+from .lca import SpannerLCA
+from .seed import SeedLike
+from ..graphs.graph import Graph
+
+LCAFactory = Callable[..., SpannerLCA]
+
+_REGISTRY: Dict[str, LCAFactory] = {}
+
+
+def register(name: str) -> Callable[[LCAFactory], LCAFactory]:
+    """Class/function decorator registering an LCA factory under ``name``."""
+
+    def decorator(factory: LCAFactory) -> LCAFactory:
+        key = name.strip().lower()
+        if key in _REGISTRY:
+            raise ParameterError(f"LCA {name!r} is already registered")
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def available() -> List[str]:
+    """Names of all registered constructions (sorted)."""
+    _ensure_builtin_registrations()
+    return sorted(_REGISTRY)
+
+
+def create(name: str, graph: Graph, seed: SeedLike, **kwargs) -> SpannerLCA:
+    """Instantiate a registered construction by name."""
+    _ensure_builtin_registrations()
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ParameterError(
+            f"unknown LCA {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](graph, seed, **kwargs)
+
+
+def create_many(
+    names: Iterable[str], graph: Graph, seed: SeedLike, **kwargs
+) -> List[SpannerLCA]:
+    """Instantiate several registered constructions with shared arguments."""
+    return [create(name, graph, seed, **kwargs) for name in names]
+
+
+def _ensure_builtin_registrations() -> None:
+    """Import the construction packages so their registrations run."""
+    # Imported lazily to avoid circular imports at package-import time.
+    from .. import spanner3, spanner5, spannerk, baselines  # noqa: F401

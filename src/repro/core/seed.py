@@ -1,0 +1,80 @@
+"""Random-seed handling.
+
+Every LCA in this library is a deterministic function of the triple
+``(graph, seed, query)``.  The seed plays the role of the paper's shared
+random tape: all instances of the LCA (one per edge query, conceptually) read
+the same tape and therefore answer consistently with a single spanner.
+
+:class:`Seed` wraps an integer master seed and can deterministically *derive*
+independent child seeds for the different roles a construction needs (center
+sampling, ranks, marking, per-level cluster sampling, ...).  Derivation uses
+SHA-256 so children are statistically unrelated and reproducible across runs
+and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Union
+
+from .errors import SeedError
+
+SeedLike = Union[int, str, "Seed"]
+
+
+def _to_int(material: SeedLike) -> int:
+    if isinstance(material, Seed):
+        return material.value
+    if isinstance(material, bool):
+        raise SeedError("booleans are not valid seed material")
+    if isinstance(material, int):
+        return material
+    if isinstance(material, str):
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:16], "big")
+    raise SeedError(f"cannot build a seed from {material!r}")
+
+
+@dataclass(frozen=True)
+class Seed:
+    """An immutable random seed with deterministic derivation.
+
+    Parameters
+    ----------
+    value:
+        The master seed value (any non-negative integer; negative values are
+        mapped to their absolute value for convenience).
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", abs(int(self.value)))
+
+    @classmethod
+    def of(cls, material: SeedLike) -> "Seed":
+        """Coerce an int, string or :class:`Seed` into a :class:`Seed`."""
+        if isinstance(material, Seed):
+            return material
+        return cls(_to_int(material))
+
+    def derive(self, label: str) -> "Seed":
+        """Derive a child seed for the given role label.
+
+        The same ``(parent, label)`` pair always yields the same child, and
+        distinct labels yield (cryptographically) unrelated children.
+        """
+        payload = f"{self.value}:{label}".encode("utf-8")
+        digest = hashlib.sha256(payload).digest()
+        return Seed(int.from_bytes(digest[:16], "big"))
+
+    def derive_indexed(self, label: str, index: int) -> "Seed":
+        """Derive a child seed for an indexed role (e.g. per-level hashing)."""
+        return self.derive(f"{label}#{int(index)}")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Seed({self.value})"

@@ -1,0 +1,125 @@
+"""Shortest-path utilities (used for verification, never by the LCAs).
+
+The LCAs themselves only ever touch the graph through the probe oracle; the
+functions here operate on full :class:`~repro.graphs.graph.Graph` objects and
+back the verification harness (stretch measurement, connectivity checks) and
+the global baseline algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .graph import Graph, Vertex
+
+
+def bfs_distances(graph: Graph, source: Vertex, cutoff: Optional[int] = None) -> Dict[Vertex, int]:
+    """Distances from ``source`` to all reachable vertices (optionally ≤ cutoff)."""
+    distances: Dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = distances[u]
+        if cutoff is not None and du >= cutoff:
+            continue
+        for w in graph.neighbors(u):
+            if w not in distances:
+                distances[w] = du + 1
+                queue.append(w)
+    return distances
+
+
+def distance(graph: Graph, u: Vertex, v: Vertex) -> Optional[int]:
+    """Shortest-path distance between ``u`` and ``v`` (``None`` if disconnected)."""
+    if u == v:
+        return 0
+    seen = {u: 0}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        for w in graph.neighbors(x):
+            if w not in seen:
+                seen[w] = seen[x] + 1
+                if w == v:
+                    return seen[w]
+                queue.append(w)
+    return None
+
+
+def k_neighborhood(graph: Graph, source: Vertex, radius: int) -> Set[Vertex]:
+    """The set Γ^k(v): all vertices within distance ``radius`` of ``source``."""
+    return set(bfs_distances(graph, source, cutoff=radius).keys())
+
+
+def ball_subgraph(graph: Graph, sources: Iterable[Vertex], radius: int) -> Graph:
+    """Induced subgraph on the union of balls of the given radius."""
+    vertices: Set[Vertex] = set()
+    for s in sources:
+        vertices |= k_neighborhood(graph, s, radius)
+    return graph.induced_subgraph(vertices)
+
+
+def eccentricity(graph: Graph, source: Vertex) -> int:
+    """Maximum finite distance from ``source`` (0 for an isolated vertex)."""
+    distances = bfs_distances(graph, source)
+    return max(distances.values()) if distances else 0
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    vertices = graph.vertices()
+    if not vertices:
+        return True
+    return len(bfs_distances(graph, vertices[0])) == len(vertices)
+
+
+def connected_components(graph: Graph) -> List[Set[Vertex]]:
+    """All connected components as vertex sets."""
+    remaining = set(graph.vertices())
+    components: List[Set[Vertex]] = []
+    while remaining:
+        source = next(iter(remaining))
+        component = set(bfs_distances(graph, source).keys())
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def same_component(graph: Graph, u: Vertex, v: Vertex) -> bool:
+    """Whether ``u`` and ``v`` lie in the same connected component."""
+    return distance(graph, u, v) is not None
+
+
+def pairwise_distances(graph: Graph, pairs: Iterable[Tuple[Vertex, Vertex]]) -> List[Optional[int]]:
+    """Distances for an iterable of vertex pairs (grouped by source for reuse)."""
+    by_source: Dict[Vertex, List[Tuple[int, Vertex]]] = {}
+    ordered = list(pairs)
+    for index, (u, v) in enumerate(ordered):
+        by_source.setdefault(u, []).append((index, v))
+    results: List[Optional[int]] = [None] * len(ordered)
+    for source, wanted in by_source.items():
+        distances = bfs_distances(graph, source)
+        for index, target in wanted:
+            results[index] = distances.get(target)
+    return results
+
+
+def shortest_path(graph: Graph, u: Vertex, v: Vertex) -> Optional[List[Vertex]]:
+    """One shortest path from ``u`` to ``v`` (``None`` if disconnected)."""
+    if u == v:
+        return [u]
+    parents: Dict[Vertex, Vertex] = {u: u}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        for w in graph.neighbors(x):
+            if w not in parents:
+                parents[w] = x
+                if w == v:
+                    path = [v]
+                    while path[-1] != u:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(w)
+    return None

@@ -1,0 +1,257 @@
+"""Static adjacency-list graphs with fixed neighbor orderings.
+
+The LCA model (Section 1.4 of the paper) assumes the input graph is presented
+through an adjacency-list oracle in which *each neighbor set has a fixed, but
+arbitrary, ordering*.  :class:`Graph` stores exactly this representation: for
+every vertex a list of neighbors in a fixed order, together with an index
+structure giving O(1) ``Adjacency`` probes (the probe returns the position of
+``v`` inside ``Γ(u)``).
+
+Vertices are arbitrary integers; they need not form ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import GraphError, UnknownVertexError
+from ..core.ids import canonical_edge
+
+Vertex = int
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """Simple undirected graph with fixed adjacency-list orderings.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from each vertex to the sequence of its neighbors in the
+        order exposed by ``Neighbor`` probes.  The mapping must be symmetric
+        (``v in adjacency[u]`` iff ``u in adjacency[v]``), contain no
+        self-loops and no repeated neighbors.
+    validate:
+        When ``True`` (default) the adjacency structure is checked for
+        symmetry and simplicity.  Large generators that construct symmetric
+        structures by design may pass ``False`` to skip the O(m) check.
+    """
+
+    __slots__ = ("_adj", "_index", "_num_edges")
+
+    def __init__(
+        self,
+        adjacency: Mapping[Vertex, Sequence[Vertex]],
+        validate: bool = True,
+    ) -> None:
+        self._adj: Dict[Vertex, List[Vertex]] = {
+            int(v): [int(w) for w in neighbors] for v, neighbors in adjacency.items()
+        }
+        # Make sure every endpoint appears as a key even if isolated on one side.
+        for v, neighbors in list(self._adj.items()):
+            for w in neighbors:
+                if w not in self._adj:
+                    raise GraphError(
+                        f"vertex {w} appears as a neighbor of {v} but has no "
+                        "adjacency list of its own"
+                    )
+        if validate:
+            self._validate()
+        self._index: Dict[Vertex, Dict[Vertex, int]] = {
+            v: {w: i for i, w in enumerate(neighbors)}
+            for v, neighbors in self._adj.items()
+        }
+        self._num_edges = sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        vertices: Optional[Iterable[Vertex]] = None,
+        shuffle_seed: Optional[int] = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of undirected edges.
+
+        Neighbor lists are ordered by edge-insertion order, which is
+        "arbitrary but fixed" exactly as the model requires.  Passing
+        ``shuffle_seed`` randomly permutes every neighbor list (deterministic
+        in the seed), which is useful for testing that algorithms do not rely
+        on any particular ordering.
+        """
+        adjacency: Dict[Vertex, List[Vertex]] = {}
+        if vertices is not None:
+            for v in vertices:
+                adjacency.setdefault(int(v), [])
+        seen = set()
+        for (u, v) in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self loop ({u}, {v}) is not allowed")
+            key = canonical_edge(u, v)
+            if key in seen:
+                continue
+            seen.add(key)
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        if shuffle_seed is not None:
+            rng = random.Random(shuffle_seed)
+            for v in adjacency:
+                rng.shuffle(adjacency[v])
+        return cls(adjacency, validate=False)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, shuffle_seed: Optional[int] = None) -> "Graph":
+        """Build a :class:`Graph` from a ``networkx`` graph.
+
+        Node labels must be integers (or convertible to integers without
+        collision); use ``networkx.convert_node_labels_to_integers`` first if
+        necessary.
+        """
+        edges = ((int(u), int(v)) for u, v in nx_graph.edges())
+        vertices = (int(v) for v in nx_graph.nodes())
+        return cls.from_edges(edges, vertices=vertices, shuffle_seed=shuffle_seed)
+
+    def to_networkx(self):
+        """Return a ``networkx.Graph`` with the same vertices and edges."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self.vertices())
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> List[Vertex]:
+        """List of vertices (in insertion order)."""
+        return list(self._adj.keys())
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return int(v) in self._adj
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over undirected edges, each reported once canonically."""
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    def degree(self, v: Vertex) -> int:
+        """Degree of ``v``."""
+        return len(self._neighbors_of(v))
+
+    def neighbors(self, v: Vertex) -> Sequence[Vertex]:
+        """The fixed, ordered neighbor list Γ(v)."""
+        return tuple(self._neighbors_of(v))
+
+    def neighbor_at(self, v: Vertex, index: int) -> Optional[Vertex]:
+        """The ``index``-th neighbor of ``v`` (0-based), or ``None``."""
+        neighbors = self._neighbors_of(v)
+        if 0 <= index < len(neighbors):
+            return neighbors[index]
+        return None
+
+    def adjacency_index(self, u: Vertex, v: Vertex) -> Optional[int]:
+        """Position of ``v`` inside Γ(u) (0-based), or ``None`` if not adjacent."""
+        if int(u) not in self._index:
+            raise UnknownVertexError(u)
+        return self._index[int(u)].get(int(v))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return self.adjacency_index(u, v) is not None
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj.values())
+
+    def min_degree(self) -> int:
+        """Minimum degree (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return min(len(neighbors) for neighbors in self._adj.values())
+
+    def average_degree(self) -> float:
+        """Average degree 2m / n."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def edge_list(self) -> List[Edge]:
+        """All undirected edges as a list of canonical tuples."""
+        return list(self.edges())
+
+    def __contains__(self, v: Vertex) -> bool:
+        return self.has_vertex(v)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph_with_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return the spanning subgraph containing all vertices of this graph
+        and only the given edges (each of which must exist in this graph)."""
+        adjacency: Dict[Vertex, List[Vertex]] = {v: [] for v in self._adj}
+        seen = set()
+        for (u, v) in edges:
+            u, v = int(u), int(v)
+            if not self.has_edge(u, v):
+                raise GraphError(f"({u}, {v}) is not an edge of the host graph")
+            key = canonical_edge(u, v)
+            if key in seen:
+                continue
+            seen.add(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        return Graph(adjacency, validate=False)
+
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the subgraph induced by the given vertex set."""
+        keep = {int(v) for v in vertices}
+        adjacency = {
+            v: [w for w in self._adj[v] if w in keep] for v in self._adj if v in keep
+        }
+        return Graph(adjacency, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _neighbors_of(self, v: Vertex) -> List[Vertex]:
+        try:
+            return self._adj[int(v)]
+        except KeyError:
+            raise UnknownVertexError(v) from None
+
+    def _validate(self) -> None:
+        for v, neighbors in self._adj.items():
+            if len(set(neighbors)) != len(neighbors):
+                raise GraphError(f"vertex {v} has repeated neighbors")
+            if v in neighbors:
+                raise GraphError(f"vertex {v} has a self loop")
+        for v, neighbors in self._adj.items():
+            for w in neighbors:
+                if v not in self._adj[w]:
+                    raise GraphError(
+                        f"adjacency is not symmetric: {w} missing neighbor {v}"
+                    )

@@ -1,0 +1,19 @@
+"""Classic LCAs (MIS, maximal matching, vertex cover) used as context."""
+
+from .greedy_order import MemoizedRecursion, RandomOrder
+from .matching import (
+    MaximalMatchingLCA,
+    VertexCoverLCA,
+    greedy_matching_reference,
+)
+from .mis import MaximalIndependentSetLCA, greedy_mis_reference
+
+__all__ = [
+    "RandomOrder",
+    "MemoizedRecursion",
+    "MaximalIndependentSetLCA",
+    "greedy_mis_reference",
+    "MaximalMatchingLCA",
+    "VertexCoverLCA",
+    "greedy_matching_reference",
+]

@@ -1,0 +1,55 @@
+"""Random-order greedy simulation — the core of the classic LCAs.
+
+The classic LCAs for maximal independent set, maximal matching and vertex
+cover (Rubinfeld et al., Alon et al., Nguyen–Onak) all share one idea: impose
+a random permutation on the vertices (or edges) and answer queries by
+simulating the greedy algorithm restricted to the query's "dependency cone" —
+the neighbors that come earlier in the permutation, their earlier neighbors,
+and so on.  The expected size of the cone is bounded for constant Δ but grows
+exponentially with Δ, which is exactly the pain point the paper's
+introduction contrasts with its polynomial-in-Δ spanner LCAs.
+
+The random order is realized with a Θ(log n)-wise independent hash of the
+vertex/edge identifier so queries are consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Tuple
+
+from ..core.seed import Seed, SeedLike
+from ..rand.kwise import KWiseHash, recommended_independence
+
+
+class RandomOrder:
+    """A consistent random total order over hashable identifiers."""
+
+    def __init__(self, seed: SeedLike, num_items_hint: int) -> None:
+        independence = recommended_independence(max(2, num_items_hint))
+        self._hash = KWiseHash(Seed.of(seed), independence)
+
+    def key(self, identifier: int) -> Tuple[int, int]:
+        """Order key: hash value with the identifier as a tie breaker."""
+        identifier = int(identifier)
+        return (self._hash.value(identifier), identifier)
+
+    def comes_before(self, first: int, second: int) -> bool:
+        return self.key(first) < self.key(second)
+
+
+class MemoizedRecursion:
+    """Helper for the recursive greedy simulations with per-query memoization.
+
+    The recursion on "earlier" items is a DAG (the random order is acyclic),
+    so simple memoization both guarantees termination and keeps the probe
+    count equal to the size of the explored dependency cone.
+    """
+
+    def __init__(self, compute: Callable[[Hashable, "MemoizedRecursion"], bool]) -> None:
+        self._compute = compute
+        self._memo: Dict[Hashable, bool] = {}
+
+    def __call__(self, item: Hashable) -> bool:
+        if item not in self._memo:
+            self._memo[item] = self._compute(item, self)
+        return self._memo[item]

@@ -1,0 +1,117 @@
+"""Classic LCAs for maximal matching and vertex cover (random-order greedy).
+
+An edge is in the greedy maximal matching iff none of its adjacent edges that
+precede it in a random edge order is in the matching; the matched endpoints
+(doubled) form a 2-approximate vertex cover.  As with the MIS LCA these serve
+as the exponential-in-Δ reference point the paper improves upon for the
+spanner problem.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..core.errors import NotAnEdgeError, UnknownVertexError
+from ..core.ids import canonical_edge
+from ..core.oracle import AdjacencyListOracle
+from ..core.probes import ProbeCounter, ProbeStatistics
+from ..core.seed import Seed, SeedLike
+from ..graphs.graph import Graph
+from .greedy_order import MemoizedRecursion, RandomOrder
+
+Edge = Tuple[int, int]
+
+
+def _edge_key(u: int, v: int) -> int:
+    a, b = canonical_edge(u, v)
+    return (a << 32) ^ b
+
+
+class MaximalMatchingLCA:
+    """LCA answering "is the edge (u, v) in the maximal matching?"."""
+
+    name = "lca-matching"
+
+    def __init__(self, graph: Graph, seed: SeedLike) -> None:
+        self._graph = graph
+        self._order = RandomOrder(
+            Seed.of(seed).derive("lca-matching/order"), max(2, graph.num_edges)
+        )
+        self._counter = ProbeCounter()
+        self._oracle = AdjacencyListOracle(graph, self._counter)
+        self.probe_stats = ProbeStatistics()
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def query(self, u: int, v: int) -> bool:
+        """Whether the edge ``(u, v)`` is in the maximal matching."""
+        if not self._graph.has_edge(u, v):
+            raise NotAnEdgeError(u, v)
+        with self._counter.measure() as measurement:
+            answer = self._simulate(canonical_edge(u, v))
+        self.probe_stats.add(measurement.total)
+        return answer
+
+    def _simulate(self, edge: Edge) -> bool:
+        oracle = self._oracle
+        order = self._order
+
+        def compute(e: Edge, recurse: MemoizedRecursion) -> bool:
+            key = _edge_key(*e)
+            for endpoint in e:
+                for w in oracle.all_neighbors(endpoint):
+                    other = canonical_edge(endpoint, w)
+                    if other == e:
+                        continue
+                    if order.comes_before(_edge_key(*other), key) and recurse(other):
+                        return False
+            return True
+
+        return MemoizedRecursion(compute)(edge)
+
+    def materialize(self) -> Set[Edge]:
+        """The full maximal matching, obtained by querying every edge."""
+        return {edge for edge in self._graph.edges() if self.query(*edge)}
+
+
+class VertexCoverLCA:
+    """LCA for a 2-approximate vertex cover: matched vertices are in the cover."""
+
+    name = "lca-vertex-cover"
+
+    def __init__(self, graph: Graph, seed: SeedLike) -> None:
+        self._matching = MaximalMatchingLCA(graph, seed)
+
+    @property
+    def graph(self) -> Graph:
+        return self._matching.graph
+
+    @property
+    def probe_stats(self) -> ProbeStatistics:
+        return self._matching.probe_stats
+
+    def query(self, vertex: int) -> bool:
+        """Whether ``vertex`` belongs to the vertex cover."""
+        graph = self._matching.graph
+        if not graph.has_vertex(vertex):
+            raise UnknownVertexError(vertex)
+        return any(self._matching.query(vertex, w) for w in graph.neighbors(vertex))
+
+    def materialize(self) -> Set[int]:
+        return {v for v in self.graph.vertices() if self.query(v)}
+
+
+def greedy_matching_reference(graph: Graph, lca: MaximalMatchingLCA) -> Set[Edge]:
+    """Sequential greedy matching in the LCA's edge order (verification only)."""
+    edges = sorted(graph.edges(), key=lambda e: lca._order.key(_edge_key(*e)))
+    matched_vertices: Set[int] = set()
+    matching: Set[Edge] = set()
+    for (u, v) in edges:
+        if u in matched_vertices or v in matched_vertices:
+            continue
+        matching.add(canonical_edge(u, v))
+        matched_vertices.add(u)
+        matched_vertices.add(v)
+    return matching

@@ -1,0 +1,80 @@
+"""Classic LCA for Maximal Independent Set (random-order greedy).
+
+A vertex is in the MIS iff none of its neighbors that precede it in the
+random order is in the MIS — the textbook recursive rule of Rubinfeld et al.
+and Nguyen–Onak.  Queries are consistent with the single MIS produced by the
+sequential greedy algorithm run in the random order.
+
+This is *not* part of the spanner constructions; it is included because the
+paper's introduction positions its results against exactly this family of
+LCAs, whose probe complexity is exponential in Δ.  The benchmark
+``bench_classic_lcas`` measures that growth empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import UnknownVertexError
+from ..core.oracle import AdjacencyListOracle
+from ..core.probes import ProbeCounter, ProbeStatistics
+from ..core.seed import Seed, SeedLike
+from ..graphs.graph import Graph
+from .greedy_order import MemoizedRecursion, RandomOrder
+
+
+class MaximalIndependentSetLCA:
+    """LCA answering "is vertex v in the maximal independent set?"."""
+
+    name = "lca-mis"
+
+    def __init__(self, graph: Graph, seed: SeedLike) -> None:
+        self._graph = graph
+        self._order = RandomOrder(
+            Seed.of(seed).derive("lca-mis/order"), graph.num_vertices
+        )
+        self._counter = ProbeCounter()
+        self._oracle = AdjacencyListOracle(graph, self._counter)
+        self.probe_stats = ProbeStatistics()
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def query(self, vertex: int) -> bool:
+        """Whether ``vertex`` belongs to the MIS (probes are counted)."""
+        if not self._graph.has_vertex(vertex):
+            raise UnknownVertexError(vertex)
+        with self._counter.measure() as measurement:
+            answer = self._simulate(vertex)
+        self.probe_stats.add(measurement.total)
+        return answer
+
+    def _simulate(self, vertex: int) -> bool:
+        oracle = self._oracle
+        order = self._order
+
+        def compute(v: int, recurse: MemoizedRecursion) -> bool:
+            for w in oracle.all_neighbors(v):
+                if order.comes_before(w, v) and recurse(w):
+                    return False
+            return True
+
+        return MemoizedRecursion(compute)(vertex)
+
+    def materialize(self) -> set:
+        """The full MIS, obtained by querying every vertex."""
+        return {v for v in self._graph.vertices() if self.query(v)}
+
+
+def greedy_mis_reference(graph: Graph, lca: MaximalIndependentSetLCA) -> set:
+    """Sequential greedy MIS in the LCA's random order (verification only)."""
+    order = sorted(graph.vertices(), key=lca._order.key)
+    chosen = set()
+    blocked = set()
+    for v in order:
+        if v in blocked:
+            continue
+        chosen.add(v)
+        blocked.update(graph.neighbors(v))
+    return chosen

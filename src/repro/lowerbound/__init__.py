@@ -1,0 +1,27 @@
+"""Lower-bound constructions and experiments (Section 6, Theorem 1.3)."""
+
+from .experiment import (
+    DistinguishingResult,
+    advantage_curve,
+    bfs_distinguisher,
+    run_distinguishing_experiment,
+)
+from .instances import (
+    DesignatedEdge,
+    LowerBoundInstance,
+    default_designated_edge,
+    sample_minus_instance,
+    sample_plus_instance,
+)
+
+__all__ = [
+    "DesignatedEdge",
+    "LowerBoundInstance",
+    "default_designated_edge",
+    "sample_plus_instance",
+    "sample_minus_instance",
+    "bfs_distinguisher",
+    "run_distinguishing_experiment",
+    "advantage_curve",
+    "DistinguishingResult",
+]

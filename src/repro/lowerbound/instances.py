@@ -1,0 +1,177 @@
+"""The lower-bound instance distributions D⁺ and D⁻ (Section 6).
+
+A d-regular instance is described by a perfect matching between the cells of
+an n×d *matching table*: matching cell (u, i) with cell (v, j) means "v is
+the i-th neighbor of u and u is the j-th neighbor of v".  Two families of
+instances are defined around a designated edge (x, a, y, b):
+
+* **D⁺** — a uniformly random d-regular instance conditioned on containing
+  the designated edge; removing the edge (w.h.p.) keeps x and y connected.
+* **D⁻** — the vertices are split into two random halves containing x and y
+  respectively; apart from the designated edge, all matchings stay within a
+  half, so removing the edge disconnects x from y.
+
+Theorem 1.3: any LCA that makes o(min{√n, n/d}) probes cannot tell the two
+families apart, hence must keep the designated edge (and, by symmetry,
+Ω(m) edges overall).  The experiment module replays this argument
+empirically: a probe-limited distinguisher's advantage collapses once its
+budget drops below min{√n, n/d}.
+
+The generator produces *simple* d-regular graphs by resampling conflicting
+pairs, mirroring the paper's remark that the few parallel edges/self-loops can
+be fixed without affecting the argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ParameterError
+from ..graphs.graph import Graph
+
+Edge = Tuple[int, int]
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DesignatedEdge:
+    """The designated edge (x, a, y, b): y is the a-th neighbor of x and
+    x is the b-th neighbor of y (0-based indices)."""
+
+    x: int
+    a: int
+    y: int
+    b: int
+
+
+@dataclass
+class LowerBoundInstance:
+    """A generated instance together with its provenance."""
+
+    graph: Graph
+    designated: DesignatedEdge
+    family: str  # "plus" or "minus"
+    #: For D⁻: the side (0 or 1) of each vertex; empty for D⁺.
+    sides: Dict[int, int]
+
+
+def _pair_cells_randomly(
+    cells: List[Cell], rng: random.Random, pinned: Optional[Tuple[Cell, Cell]] = None
+) -> List[Tuple[Cell, Cell]]:
+    """A random perfect matching of the cells (optionally with one pinned pair)."""
+    remaining = list(cells)
+    pairs: List[Tuple[Cell, Cell]] = []
+    if pinned is not None:
+        first, second = pinned
+        remaining.remove(first)
+        remaining.remove(second)
+        pairs.append(pinned)
+    rng.shuffle(remaining)
+    for i in range(0, len(remaining), 2):
+        pairs.append((remaining[i], remaining[i + 1]))
+    return pairs
+
+
+def _pairs_to_adjacency(
+    n: int, d: int, pairs: List[Tuple[Cell, Cell]]
+) -> Optional[Dict[int, List[int]]]:
+    """Turn matched cells into an adjacency structure; None if not simple."""
+    adjacency: Dict[int, List[Optional[int]]] = {v: [None] * d for v in range(n)}
+    seen: Set[Edge] = set()
+    for (u, i), (v, j) in pairs:
+        if u == v:
+            return None  # self loop
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            return None  # parallel edge
+        seen.add(key)
+        adjacency[u][i] = v
+        adjacency[v][j] = u
+    return {v: [w for w in slots if w is not None] for v, slots in adjacency.items()}
+
+
+def sample_plus_instance(
+    n: int, d: int, designated: DesignatedEdge, seed: int, max_attempts: int = 400
+) -> LowerBoundInstance:
+    """Sample an instance from D⁺ (uniform, conditioned on the designated edge)."""
+    _validate(n, d, designated)
+    rng = random.Random(seed)
+    cells = [(v, i) for v in range(n) for i in range(d)]
+    pinned = ((designated.x, designated.a), (designated.y, designated.b))
+    for _ in range(max_attempts):
+        pairs = _pair_cells_randomly(cells, rng, pinned=pinned)
+        adjacency = _pairs_to_adjacency(n, d, pairs)
+        if adjacency is not None:
+            graph = Graph(adjacency, validate=False)
+            return LowerBoundInstance(graph, designated, "plus", {})
+    raise ParameterError(
+        "failed to sample a simple d-regular instance; increase n or lower d"
+    )
+
+
+def sample_minus_instance(
+    n: int, d: int, designated: DesignatedEdge, seed: int, max_attempts: int = 400
+) -> LowerBoundInstance:
+    """Sample an instance from D⁻ (two halves joined only by the designated edge)."""
+    _validate(n, d, designated)
+    if n % 2 != 0:
+        raise ParameterError("n must be even for the two-halves construction")
+    if ((n // 2) * d - 1) % 2 != 0:
+        raise ParameterError(
+            "each half must have an even number of free cells; "
+            "use n ≡ 2 (mod 4) together with odd d (as in the paper)"
+        )
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        others = [v for v in range(n) if v not in (designated.x, designated.y)]
+        rng.shuffle(others)
+        half = n // 2 - 1
+        side_of: Dict[int, int] = {designated.x: 0, designated.y: 1}
+        for index, v in enumerate(others):
+            side_of[v] = 0 if index < half else 1
+        cells_side = {
+            0: [(v, i) for v in range(n) if side_of[v] == 0 for i in range(d)],
+            1: [(v, i) for v in range(n) if side_of[v] == 1 for i in range(d)],
+        }
+        # Remove the designated cells from their sides; they pair with each other.
+        cells_side[0].remove((designated.x, designated.a))
+        cells_side[1].remove((designated.y, designated.b))
+        pairs = [((designated.x, designated.a), (designated.y, designated.b))]
+        feasible = True
+        for side in (0, 1):
+            if len(cells_side[side]) % 2 != 0:
+                feasible = False
+                break
+            pairs.extend(_pair_cells_randomly(cells_side[side], rng))
+        if not feasible:
+            continue
+        adjacency = _pairs_to_adjacency(n, d, pairs)
+        if adjacency is not None:
+            graph = Graph(adjacency, validate=False)
+            return LowerBoundInstance(graph, designated, "minus", side_of)
+    raise ParameterError(
+        "failed to sample a simple two-halves instance; increase n or lower d"
+    )
+
+
+def default_designated_edge(d: int) -> DesignatedEdge:
+    """A convenient canonical designated edge: (x=0, a=0, y=1, b=0)."""
+    if d < 1:
+        raise ParameterError("d must be at least 1")
+    return DesignatedEdge(x=0, a=0, y=1, b=0)
+
+
+def _validate(n: int, d: int, designated: DesignatedEdge) -> None:
+    if n < 4:
+        raise ParameterError("n must be at least 4")
+    if d < 1 or d >= n:
+        raise ParameterError("d must satisfy 1 <= d < n")
+    if (n * d) % 2 != 0:
+        raise ParameterError("n * d must be even")
+    if designated.x == designated.y:
+        raise ParameterError("the designated edge cannot be a self loop")
+    for index in (designated.a, designated.b):
+        if not 0 <= index < d:
+            raise ParameterError("designated neighbor indices must lie in [0, d)")

@@ -1,0 +1,31 @@
+"""Bounded-independence randomness (Section 5 of the paper)."""
+
+from .kwise import (
+    KWiseHash,
+    KWiseHashFamily,
+    MERSENNE_PRIME,
+    concatenated_rank,
+    recommended_independence,
+    seed_bit_cost,
+)
+from .sampler import (
+    CenterSampler,
+    IndexSampler,
+    RankAssigner,
+    hitting_probability,
+    log_count,
+)
+
+__all__ = [
+    "KWiseHash",
+    "KWiseHashFamily",
+    "MERSENNE_PRIME",
+    "concatenated_rank",
+    "recommended_independence",
+    "seed_bit_cost",
+    "CenterSampler",
+    "IndexSampler",
+    "RankAssigner",
+    "hitting_probability",
+    "log_count",
+]

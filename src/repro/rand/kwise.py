@@ -1,0 +1,192 @@
+"""d-wise independent hash families.
+
+Section 5 of the paper shows that all its LCAs succeed with Θ(log n)-wise
+independent hash functions, which (Lemma 5.2, quoting Vadhan's Corollary
+3.34) can be sampled with ``d · max(γ, β)`` random bits and evaluated in
+polynomial time.  The standard construction is a random polynomial of degree
+``d − 1`` over a prime field: for coefficients ``a_0 .. a_{d-1}`` drawn
+uniformly from ``GF(p)``,
+
+    h(x) = a_0 + a_1 x + ... + a_{d-1} x^{d-1}   (mod p)
+
+is a d-wise independent function ``GF(p) → GF(p)``.  We use the Mersenne
+prime ``p = 2^61 − 1`` so ``h`` comfortably covers O(log n)-bit identifiers
+and outputs.
+
+The coefficients themselves are derived deterministically from a
+:class:`~repro.core.seed.Seed` via SHA-256, which stands in for the "tape of
+random bits" of the model; what matters for the reproduction is that (a) the
+family is d-wise independent over the choice of coefficients and (b) each
+evaluation is a pure function of ``(seed, x)`` so LCA answers are consistent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from ..core.errors import ParameterError
+from ..core.seed import Seed, SeedLike
+
+#: Mersenne prime 2^61 - 1; field size for the polynomial hash family.
+MERSENNE_PRIME = (1 << 61) - 1
+
+
+def _derive_coefficients(seed: Seed, degree: int) -> List[int]:
+    """Derive ``degree`` field elements deterministically from ``seed``."""
+    coefficients: List[int] = []
+    counter = 0
+    while len(coefficients) < degree:
+        payload = f"kwise:{seed.value}:{counter}".encode("utf-8")
+        digest = hashlib.sha256(payload).digest()
+        # Each 32-byte digest yields four 8-byte candidates.
+        for offset in range(0, 32, 8):
+            candidate = int.from_bytes(digest[offset : offset + 8], "big")
+            coefficients.append(candidate % MERSENNE_PRIME)
+            if len(coefficients) == degree:
+                break
+        counter += 1
+    return coefficients
+
+
+class KWiseHash:
+    """A single function drawn from a d-wise independent family.
+
+    Parameters
+    ----------
+    seed:
+        Seed material selecting the function from the family.
+    independence:
+        The independence parameter ``d`` (the polynomial degree is ``d − 1``).
+        The paper uses ``d = Θ(log n)``.
+    """
+
+    __slots__ = ("seed", "independence", "_coefficients")
+
+    def __init__(self, seed: SeedLike, independence: int) -> None:
+        if independence < 1:
+            raise ParameterError("independence must be at least 1")
+        self.seed = Seed.of(seed)
+        self.independence = int(independence)
+        self._coefficients = _derive_coefficients(self.seed, self.independence)
+
+    # ------------------------------------------------------------------ #
+    # Raw evaluations
+    # ------------------------------------------------------------------ #
+    def value(self, x: int) -> int:
+        """Evaluate the hash at ``x``; result is uniform in ``[0, p)``."""
+        x = int(x) % MERSENNE_PRIME
+        acc = 0
+        # Horner evaluation of the degree-(d-1) polynomial.
+        for coefficient in reversed(self._coefficients):
+            acc = (acc * x + coefficient) % MERSENNE_PRIME
+        return acc
+
+    def __call__(self, x: int) -> int:
+        return self.value(x)
+
+    # ------------------------------------------------------------------ #
+    # Derived distributions
+    # ------------------------------------------------------------------ #
+    def uniform(self, x: int) -> float:
+        """Map the hash value to a float in ``[0, 1)``."""
+        return self.value(x) / MERSENNE_PRIME
+
+    def bernoulli(self, x: int, probability: float) -> bool:
+        """A Bernoulli(probability) coin determined by ``x``.
+
+        Distinct inputs behave d-wise independently; the same input always
+        yields the same outcome — exactly the "coin flip determined by the
+        vertex ID and the random tape" idiom of Observation 2.3.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ParameterError("probability must lie in [0, 1]")
+        return self.uniform(x) < probability
+
+    def integer(self, x: int, modulus: int) -> int:
+        """An integer in ``[0, modulus)`` determined by ``x``.
+
+        The modular reduction introduces a bias of at most ``modulus / p``,
+        which is negligible for the modulus sizes used here (≤ n² « 2^61).
+        """
+        if modulus <= 0:
+            raise ParameterError("modulus must be positive")
+        return self.value(x) % modulus
+
+    def bits(self, x: int, num_bits: int) -> int:
+        """The low ``num_bits`` bits of the hash value (``{0,1}^num_bits``)."""
+        if num_bits <= 0:
+            raise ParameterError("num_bits must be positive")
+        if num_bits > 60:
+            raise ParameterError("num_bits must be at most 60")
+        return self.value(x) & ((1 << num_bits) - 1)
+
+
+class KWiseHashFamily:
+    """A labelled collection of independent :class:`KWiseHash` functions.
+
+    Constructions frequently need several independent hash functions (one per
+    role, or one per level ``h_1 .. h_T`` as in Section 5.2).  The family
+    derives each member from a common seed and a role label so the whole
+    construction remains a deterministic function of one master seed.
+    """
+
+    def __init__(self, seed: SeedLike, independence: int) -> None:
+        self.seed = Seed.of(seed)
+        self.independence = int(independence)
+
+    def member(self, label: str) -> KWiseHash:
+        """The family member associated with ``label``."""
+        return KWiseHash(self.seed.derive(label), self.independence)
+
+    def members(self, label: str, count: int) -> List[KWiseHash]:
+        """``count`` independent members ``label#0 .. label#(count-1)``."""
+        return [
+            KWiseHash(self.seed.derive_indexed(label, index), self.independence)
+            for index in range(count)
+        ]
+
+
+def recommended_independence(num_vertices: int, multiplier: float = 2.0) -> int:
+    """The Θ(log n) independence used by the paper (Section 5).
+
+    Parameters
+    ----------
+    num_vertices:
+        Graph size ``n``.
+    multiplier:
+        Constant in front of ``log₂ n``; 2 is comfortable for all the
+        concentration arguments used here.
+    """
+    if num_vertices < 2:
+        return 2
+    import math
+
+    return max(2, int(math.ceil(multiplier * math.log2(num_vertices))))
+
+
+def seed_bit_cost(num_vertices: int, independence: int) -> int:
+    """Number of random bits Lemma 5.2 charges for one family member.
+
+    ``d · max(γ, β)`` with γ = β = ⌈log₂ n⌉; reported by the benchmarks to
+    substantiate the "O(log² n) random bits" claims of Theorems 1.1 and 1.2.
+    """
+    import math
+
+    gamma = max(1, int(math.ceil(math.log2(max(2, num_vertices)))))
+    return int(independence) * gamma
+
+
+def concatenated_rank(
+    hashes: Sequence[KWiseHash], identifier: int, bits_per_block: int
+) -> int:
+    """The block-concatenated rank of Section 5.2.
+
+    ``r(v) = h_1(ID(v)) ∘ h_2(ID(v)) ∘ ... ∘ h_T(ID(v))`` where each block has
+    ``bits_per_block`` bits.  Returned as an integer so ranks compare with the
+    natural ``<`` order (block 1 is the most significant).
+    """
+    rank = 0
+    for member in hashes:
+        rank = (rank << bits_per_block) | member.bits(identifier, bits_per_block)
+    return rank

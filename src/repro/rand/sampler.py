@@ -1,0 +1,160 @@
+"""Samplers built on top of the d-wise independent hash families.
+
+Three sampling idioms recur throughout the paper and are factored out here:
+
+* :class:`CenterSampler` — "each vertex elects itself into the center set S
+  independently with probability p"; locally checkable from the vertex ID
+  without probes (Observation 2.3).
+* :class:`RankAssigner` — the random rank ``r(v) ∈ [0, 1)`` of Section 4.3.4,
+  realized with the block-concatenated construction of Section 5.2 so only
+  O(log² n) random bits are consumed.
+* :class:`IndexSampler` — "pick Θ(log n) random indices of the neighbor list"
+  used to compute the representative sets ``Reps(v)`` in Section 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..core.errors import ParameterError
+from ..core.seed import Seed, SeedLike
+from .kwise import KWiseHash, KWiseHashFamily, concatenated_rank
+
+
+class CenterSampler:
+    """Locally-checkable Bernoulli(p) membership in a center set.
+
+    Parameters
+    ----------
+    seed:
+        Seed material (role-specific; derive one per center set).
+    probability:
+        Election probability ``p`` (clamped to ``[0, 1]``).
+    independence:
+        Independence of the underlying hash family (Θ(log n) suffices).
+    """
+
+    def __init__(self, seed: SeedLike, probability: float, independence: int) -> None:
+        probability = min(1.0, max(0.0, float(probability)))
+        self.probability = probability
+        self._hash = KWiseHash(Seed.of(seed), independence)
+
+    def is_center(self, vertex: int) -> bool:
+        """Whether ``vertex`` elected itself (no probes are needed)."""
+        return self._hash.bernoulli(vertex, self.probability)
+
+    def centers_among(self, vertices: Sequence[int]) -> List[int]:
+        """Filter a vertex sequence down to the elected centers."""
+        return [v for v in vertices if self.is_center(v)]
+
+    def expected_count(self, num_vertices: int) -> float:
+        """Expected number of centers among ``num_vertices`` vertices."""
+        return self.probability * num_vertices
+
+
+class RankAssigner:
+    """Random ranks of Voronoi-cell centers (Sections 4.3.4 and 5.2).
+
+    The rank of a center ``v`` is the concatenation of ``num_blocks`` blocks
+    of ``bits_per_block`` bits, each produced by its own Θ(log n)-wise
+    independent hash function.  Lower rank means "preferred" in the
+    connection rules of ``H^B_dense``.
+    """
+
+    def __init__(
+        self,
+        seed: SeedLike,
+        num_blocks: int,
+        bits_per_block: int,
+        independence: int,
+    ) -> None:
+        if num_blocks < 1:
+            raise ParameterError("num_blocks must be at least 1")
+        if bits_per_block < 1:
+            raise ParameterError("bits_per_block must be at least 1")
+        self.num_blocks = int(num_blocks)
+        self.bits_per_block = int(bits_per_block)
+        family = KWiseHashFamily(Seed.of(seed), independence)
+        self._hashes = family.members("rank-block", self.num_blocks)
+
+    def rank(self, vertex: int) -> int:
+        """Integer rank of ``vertex``; lower is better."""
+        return concatenated_rank(self._hashes, vertex, self.bits_per_block)
+
+    def rank_fraction(self, vertex: int) -> float:
+        """The rank normalized into ``[0, 1)`` (handy for reporting)."""
+        total_bits = self.num_blocks * self.bits_per_block
+        return self.rank(vertex) / float(1 << total_bits)
+
+    def block(self, vertex: int, index: int) -> int:
+        """The ``index``-th (0-based) block ``R_{index+1}(v)`` of the rank."""
+        if not 0 <= index < self.num_blocks:
+            raise ParameterError("block index out of range")
+        return self._hashes[index].bits(vertex, self.bits_per_block)
+
+    @classmethod
+    def for_graph(
+        cls, seed: SeedLike, num_vertices: int, stretch_parameter: int, independence: int
+    ) -> "RankAssigner":
+        """Build the rank function the paper uses for an n-vertex graph.
+
+        ``T = k`` blocks of ``N = ⌈log₂(n)/k⌉`` bits each, mirroring
+        Section 5.2.
+        """
+        num_blocks = max(1, int(stretch_parameter))
+        bits = max(1, int(math.ceil(math.log2(max(2, num_vertices)) / num_blocks)))
+        return cls(seed, num_blocks, bits, independence)
+
+
+class IndexSampler:
+    """Θ(log n) random indices of a neighbor list (``Reps`` computation).
+
+    For a vertex ``v`` the sampler returns ``count`` (not necessarily
+    distinct) indices in ``[0, upper)`` determined by the seed and ``v``; the
+    representative set ``Reps(v)`` is then the set of neighbors at those
+    indices whose degree exceeds the Δ_super threshold (Section 3).
+    """
+
+    def __init__(self, seed: SeedLike, count: int, independence: int) -> None:
+        if count < 1:
+            raise ParameterError("count must be at least 1")
+        self.count = int(count)
+        family = KWiseHashFamily(Seed.of(seed), independence)
+        self._hashes = family.members("index", self.count)
+
+    def indices(self, vertex: int, upper: int) -> List[int]:
+        """``count`` indices in ``[0, upper)`` for ``vertex`` (with repeats)."""
+        if upper <= 0:
+            return []
+        return [h.integer(vertex, upper) for h in self._hashes]
+
+    def distinct_indices(self, vertex: int, upper: int) -> List[int]:
+        """The same indices, deduplicated and sorted (order-independent)."""
+        return sorted(set(self.indices(vertex, upper)))
+
+
+def log_count(num_vertices: int, multiplier: float = 2.0, minimum: int = 2) -> int:
+    """A convenience Θ(log n) count: ``max(minimum, ⌈multiplier · ln n⌉)``."""
+    if num_vertices < 2:
+        return minimum
+    return max(minimum, int(math.ceil(multiplier * math.log(num_vertices))))
+
+
+def hitting_probability(threshold: float, num_vertices: int, multiplier: float = 2.0) -> float:
+    """The hitting-set probability ``Θ(log n / Δ)`` of Observation 2.3.
+
+    Parameters
+    ----------
+    threshold:
+        The degree threshold Δ whose neighborhoods must be hit.
+    num_vertices:
+        Graph size ``n``.
+    multiplier:
+        The hidden constant; 2·ln n gives a comfortable failure probability
+        of ``n^{-2}`` per neighborhood via the standard union bound.
+    """
+    if threshold <= 0:
+        return 1.0
+    probability = multiplier * math.log(max(2, num_vertices)) / float(threshold)
+    return min(1.0, probability)

@@ -1,0 +1,27 @@
+"""LCA for 3-spanners (Section 2 of the paper; Theorem 1.1 with r = 2)."""
+
+from .ablation import NaiveSingleCenterLCA, SingleCenterSystem
+from .centers import PrefixCenterSystem
+from .components import (
+    CenterEdgeComponent,
+    HighDegreeComponent,
+    LowDegreeComponent,
+    SuperBlockComponent,
+)
+from .lca import ThreeSpannerLCA
+from .params import ThreeSpannerParams
+from .reference import build_reference_spanner, classify_edges
+
+__all__ = [
+    "NaiveSingleCenterLCA",
+    "SingleCenterSystem",
+    "PrefixCenterSystem",
+    "LowDegreeComponent",
+    "CenterEdgeComponent",
+    "HighDegreeComponent",
+    "SuperBlockComponent",
+    "ThreeSpannerLCA",
+    "ThreeSpannerParams",
+    "build_reference_spanner",
+    "classify_edges",
+]

@@ -1,0 +1,159 @@
+"""Ablation of Idea I: the naïve single-center construction.
+
+Section 1.2.1 of the paper first describes "the naïve approach for
+3-spanners and its shortcoming": give every high-degree vertex a *single*
+cluster center (its first sampled neighbor) and connect each vertex to the
+first neighbor of every cluster it sees.  The construction is correct, but a
+cluster-membership test then costs Θ(√n) probes (one has to scan the first
+√n neighbors of the candidate looking for its center), so a query costs
+Θ(deg(v) · √n) probes.  Idea I — letting every vertex join *all* sampled
+centers among its first √n neighbors — brings the membership test down to a
+single ``Adjacency`` probe.
+
+This module implements the naïve variant so the benchmark
+``bench_ablation_ideas`` can measure the probe gap directly; it is not part
+of the recommended API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.lca import CombinedLCA, SpannerLCA
+from ..core.oracle import AdjacencyListOracle
+from ..core.registry import register
+from ..core.seed import Seed, SeedLike
+from ..graphs.graph import Graph
+from .centers import PrefixCenterSystem
+from .components import CenterEdgeComponent, LowDegreeComponent
+from .params import ThreeSpannerParams
+
+
+class SingleCenterSystem:
+    """Single-center clustering: c(v) = first sampled vertex in Γ(v)'s prefix.
+
+    Unlike :class:`PrefixCenterSystem`, testing whether ``w`` belongs to the
+    cluster of ``s`` requires recomputing ``c(w)``, i.e. scanning ``w``'s
+    prefix — Θ(√n) probes instead of one.
+    """
+
+    def __init__(self, seed: SeedLike, probability: float, prefix: int, independence: int) -> None:
+        self._prefix_system = PrefixCenterSystem(seed, probability, prefix, independence)
+        self.prefix = self._prefix_system.prefix
+
+    def is_center(self, vertex: int) -> bool:
+        return self._prefix_system.is_center(vertex)
+
+    def center_of(self, oracle: AdjacencyListOracle, vertex: int) -> Optional[int]:
+        """The single center of ``vertex``: its first sampled prefix neighbor."""
+        for neighbor in oracle.neighbors_prefix(vertex, self.prefix):
+            if self.is_center(neighbor):
+                return neighbor
+        return None
+
+    def in_cluster_of(self, oracle: AdjacencyListOracle, member: int, center: int) -> bool:
+        """Membership test by recomputation — the Θ(√n)-probe operation."""
+        return self.center_of(oracle, member) == center
+
+    def is_center_edge(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
+        return self.center_of(oracle, u) == v or self.center_of(oracle, v) == u
+
+
+class NaiveHighDegreeComponent(SpannerLCA):
+    """The naïve scanning rule: keep (w, x) when x's *single* cluster is new."""
+
+    name = "spanner3-naive-high"
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        params: ThreeSpannerParams,
+        centers: SingleCenterSystem,
+    ) -> None:
+        super().__init__(graph, seed)
+        self.params = params
+        self.centers = centers
+
+    def stretch_bound(self) -> Optional[int]:
+        return 3
+
+    def _kept_by_scan(self, oracle: AdjacencyListOracle, w: int, x: int) -> bool:
+        degree_w = oracle.degree(w)
+        if degree_w <= self.params.low_threshold:
+            return False
+        if degree_w > self.params.super_threshold:
+            return False
+        index = oracle.adjacency(w, x)
+        if index is None:
+            return False
+        center_x = self.centers.center_of(oracle, x)
+        if center_x is None:
+            return False
+        # Is x the first neighbor of w whose (single) cluster is center_x?
+        for j in range(index):
+            earlier = oracle.neighbor(w, j)
+            if earlier is None:
+                break
+            if self.centers.in_cluster_of(oracle, earlier, center_x):
+                return False
+        return True
+
+    def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
+        return self._kept_by_scan(oracle, u, v) or self._kept_by_scan(oracle, v, u)
+
+
+class NaiveSingleCenterLCA(CombinedLCA):
+    """The full naïve 3-spanner LCA used as an ablation baseline.
+
+    Correct (stretch ≤ 3 for the edges it is responsible for, E_low and
+    center edges keep the rest at small scale) but with Θ(deg · √n) probe
+    cost per query — the quantity Idea I removes.
+    """
+
+    name = "spanner3-naive"
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        params: Optional[ThreeSpannerParams] = None,
+        hitting_constant: float = 2.0,
+    ) -> None:
+        seed = Seed.of(seed)
+        if params is None:
+            params = ThreeSpannerParams.for_graph(
+                graph.num_vertices, hitting_constant=hitting_constant
+            )
+        self.params = params
+        self.centers = SingleCenterSystem(
+            seed=seed.derive("spanner3-naive/centers"),
+            probability=params.high_center_probability,
+            prefix=params.low_threshold,
+            independence=params.independence,
+        )
+        components = [
+            LowDegreeComponent(graph, seed, threshold=params.low_threshold),
+            _SingleCenterEdges(graph, seed, self.centers),
+            NaiveHighDegreeComponent(graph, seed, params=params, centers=self.centers),
+        ]
+        super().__init__(graph, seed, components)
+
+    def stretch_bound(self) -> Optional[int]:
+        return 3
+
+
+class _SingleCenterEdges(CenterEdgeComponent):
+    """Center edges of the single-center system (interface-compatible)."""
+
+    name = "spanner3-naive-center-edges"
+
+    def __init__(self, graph: Graph, seed: SeedLike, system: SingleCenterSystem) -> None:
+        super().__init__(graph, seed, systems=[system])
+
+
+@register("spanner3-naive")
+def _make_naive_three_spanner(
+    graph: Graph, seed: SeedLike, **kwargs
+) -> NaiveSingleCenterLCA:
+    return NaiveSingleCenterLCA(graph, seed, **kwargs)

@@ -1,0 +1,105 @@
+"""Multiple-center clustering (Idea I of the paper).
+
+The key trick of the 3-spanner LCA is that every vertex ``v`` joins the
+clusters of *all* sampled centers among its first ``t`` neighbors, rather
+than a single cluster.  The "multiple-center set"
+
+    S(v) = S ∩ {first min(deg(v), t) neighbors of v}
+
+can then be tested for membership with a *single* ``Adjacency`` probe:
+``w`` belongs to the cluster of ``s`` iff ``s`` appears within the first
+``t`` positions of ``Γ(w)`` and ``s`` elected itself into ``S`` — the latter
+is checked from ``s``'s ID alone (Observation 2.3).
+
+:class:`PrefixCenterSystem` packages a center set together with its prefix
+length and provides both operations with explicit probe costs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.oracle import AdjacencyListOracle
+from ..core.seed import SeedLike
+from ..rand.sampler import CenterSampler
+
+
+class PrefixCenterSystem:
+    """A center set ``S`` with prefix-based cluster membership.
+
+    Parameters
+    ----------
+    seed:
+        Seed material for the center election coin flips.
+    probability:
+        Election probability ``p``.
+    prefix:
+        The prefix length ``t``: ``S(v)`` consists of sampled vertices among
+        the first ``min(deg(v), t)`` neighbors of ``v``.
+    independence:
+        Independence of the underlying hash family.
+    """
+
+    def __init__(
+        self, seed: SeedLike, probability: float, prefix: int, independence: int
+    ) -> None:
+        self.prefix = max(1, int(prefix))
+        self.sampler = CenterSampler(seed, probability, independence)
+
+    # ------------------------------------------------------------------ #
+    # Probe-free operations
+    # ------------------------------------------------------------------ #
+    def is_center(self, vertex: int) -> bool:
+        """Whether ``vertex ∈ S`` (no probes; Observation 2.3)."""
+        return self.sampler.is_center(vertex)
+
+    # ------------------------------------------------------------------ #
+    # Probe-counted operations
+    # ------------------------------------------------------------------ #
+    def center_set(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
+        """The multiple-center set ``S(vertex)``.
+
+        Costs one ``Degree`` probe plus ``min(deg, prefix)`` ``Neighbor``
+        probes.
+        """
+        candidates = oracle.neighbors_prefix(vertex, self.prefix)
+        return [w for w in candidates if self.is_center(w)]
+
+    def in_cluster_of(
+        self, oracle: AdjacencyListOracle, member: int, center: int
+    ) -> bool:
+        """Cluster-membership test: is ``center ∈ S(member)``?
+
+        A single ``Adjacency`` probe: ``center`` must appear among the first
+        ``prefix`` neighbors of ``member`` (Idea I).  The center's election
+        status is checked without probes.
+        """
+        if not self.is_center(center):
+            return False
+        index = oracle.adjacency(member, center)
+        return index is not None and index < self.prefix
+
+    def is_center_edge(
+        self, oracle: AdjacencyListOracle, u: int, v: int
+    ) -> bool:
+        """Whether ``(u, v)`` is a center edge: ``v ∈ S(u)`` or ``u ∈ S(v)``.
+
+        These are exactly the "connect every vertex to each of its centers"
+        edges of the construction; two ``Adjacency`` probes suffice.
+        """
+        return self.in_cluster_of(oracle, u, v) or self.in_cluster_of(oracle, v, u)
+
+    # ------------------------------------------------------------------ #
+    # Global (probe-free) helpers for the reference construction and tests
+    # ------------------------------------------------------------------ #
+    def center_set_global(self, graph, vertex: int) -> List[int]:
+        """``S(vertex)`` computed directly on the graph (verification only)."""
+        neighbors = graph.neighbors(vertex)[: self.prefix]
+        return [w for w in neighbors if self.is_center(w)]
+
+    def in_cluster_of_global(self, graph, member: int, center: int) -> bool:
+        """Cluster membership computed directly on the graph (verification)."""
+        if not self.is_center(center):
+            return False
+        index = graph.adjacency_index(member, center)
+        return index is not None and index < self.prefix

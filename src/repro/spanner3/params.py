@@ -1,0 +1,112 @@
+"""Parameters of the 3-spanner LCA (Section 2).
+
+The construction classifies vertices by degree:
+
+* *low degree*: ``deg(v) ≤ √n`` — all incident edges are kept (H_low),
+* *high degree*: ``√n < deg(v) ≤ n^{3/4}`` — handled by H_high,
+* *super-high degree*: ``deg(v) > n^{3/4}`` — handled by H_super.
+
+Two center sets are sampled: ``S`` with probability Θ(log n / √n) (so every
+high-degree vertex sees Θ(log n) centers among its first √n neighbors) and
+``S'`` with probability Θ(log n / n^{3/4}) (hitting the first n^{3/4}
+neighbors of the super-high-degree vertices).
+
+All thresholds and probabilities live in :class:`ThreeSpannerParams` so tests
+can tighten or loosen the logarithmic constants; the defaults follow the
+paper with a hitting constant of 2·ln n.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ParameterError
+from ..rand.kwise import recommended_independence
+from ..rand.sampler import hitting_probability
+
+
+@dataclass(frozen=True)
+class ThreeSpannerParams:
+    """Concrete thresholds and probabilities for a given graph size ``n``."""
+
+    num_vertices: int
+    #: Degree threshold √n below which every incident edge is kept (E_low).
+    low_threshold: int
+    #: Degree threshold n^{3/4} above which a vertex is "super-high degree".
+    super_threshold: int
+    #: Election probability of the center set S (Θ(log n / √n)).
+    high_center_probability: float
+    #: Election probability of the center set S' (Θ(log n / n^{3/4})).
+    super_center_probability: float
+    #: Independence of the hash families (Θ(log n), Section 5).
+    independence: int
+
+    @classmethod
+    def for_graph(
+        cls,
+        num_vertices: int,
+        hitting_constant: float = 2.0,
+        independence: int | None = None,
+    ) -> "ThreeSpannerParams":
+        """Derive the paper's parameters from the graph size.
+
+        Parameters
+        ----------
+        num_vertices:
+            ``n``; known to the algorithm in the LCA model.
+        hitting_constant:
+            The constant ``c`` in the Θ(c·log n / Δ) sampling probabilities.
+        independence:
+            Hash-family independence; defaults to Θ(log n).
+        """
+        if num_vertices < 1:
+            raise ParameterError("the graph must have at least one vertex")
+        n = int(num_vertices)
+        low = max(1, int(math.ceil(math.sqrt(n))))
+        super_ = max(low, int(math.ceil(n ** 0.75)))
+        if independence is None:
+            independence = recommended_independence(n)
+        return cls(
+            num_vertices=n,
+            low_threshold=low,
+            super_threshold=super_,
+            high_center_probability=hitting_probability(low, n, hitting_constant),
+            super_center_probability=hitting_probability(super_, n, hitting_constant),
+            independence=int(independence),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Degree classification helpers (Section 2.1)
+    # ------------------------------------------------------------------ #
+    def is_low_degree(self, degree: int) -> bool:
+        """``deg(v) ≤ √n``."""
+        return degree <= self.low_threshold
+
+    def is_high_degree(self, degree: int) -> bool:
+        """``√n < deg(v) ≤ n^{3/4}``."""
+        return self.low_threshold < degree <= self.super_threshold
+
+    def is_super_degree(self, degree: int) -> bool:
+        """``deg(v) > n^{3/4}``."""
+        return degree > self.super_threshold
+
+    def classify_edge(self, degree_u: int, degree_v: int) -> str:
+        """Return 'low', 'high' or 'super' per the E_low/E_high/E_super split."""
+        minimum = min(degree_u, degree_v)
+        if minimum <= self.low_threshold:
+            return "low"
+        if minimum <= self.super_threshold:
+            return "high"
+        return "super"
+
+    # ------------------------------------------------------------------ #
+    # Theoretical targets (used by benchmarks for the "shape" comparison)
+    # ------------------------------------------------------------------ #
+    def expected_edge_bound(self) -> float:
+        """The Õ(n^{3/2}) target size (without logarithmic factors)."""
+        return float(self.num_vertices) ** 1.5
+
+    def expected_probe_bound(self) -> float:
+        """The Õ(n^{3/4}) target probe complexity (without log factors)."""
+        return float(self.num_vertices) ** 0.75

@@ -1,0 +1,94 @@
+"""Global (non-local) reference construction of the 3-spanner.
+
+The paper's LCA is *defined* through a global construction that is never
+executed; the LCA answers queries consistently with it.  This module executes
+that global construction directly on the full graph, using the same seed and
+the same derived center sets as :class:`~repro.spanner3.lca.ThreeSpannerLCA`.
+Tests compare the edge set produced here against the edge set obtained by
+querying the LCA on every edge: the two must be identical, which is a strong
+end-to-end check of the consistency contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.ids import canonical_edge
+from ..graphs.graph import Graph
+from .lca import ThreeSpannerLCA
+
+Edge = Tuple[int, int]
+
+
+def build_reference_spanner(lca: ThreeSpannerLCA) -> Set[Edge]:
+    """Run the global Section-2 construction with the LCA's own randomness."""
+    graph = lca.graph
+    params = lca.params
+    high_centers = lca.high_centers
+    super_centers = lca.super_centers
+
+    spanner: Set[Edge] = set()
+
+    # ------------------------------------------------------------------ #
+    # H_low: all edges with a low-degree endpoint.
+    # ------------------------------------------------------------------ #
+    for (u, v) in graph.edges():
+        if (
+            graph.degree(u) <= params.low_threshold
+            or graph.degree(v) <= params.low_threshold
+        ):
+            spanner.add(canonical_edge(u, v))
+
+    # ------------------------------------------------------------------ #
+    # Center edges: v connected to every member of S(v) and S'(v).
+    # ------------------------------------------------------------------ #
+    for v in graph.vertices():
+        for system in (high_centers, super_centers):
+            for s in system.center_set_global(graph, v):
+                spanner.add(canonical_edge(v, s))
+
+    # Cache the multiple-center sets; they are reused many times below.
+    high_sets: Dict[int, Set[int]] = {
+        v: set(high_centers.center_set_global(graph, v)) for v in graph.vertices()
+    }
+    super_sets: Dict[int, Set[int]] = {
+        v: set(super_centers.center_set_global(graph, v)) for v in graph.vertices()
+    }
+
+    # ------------------------------------------------------------------ #
+    # H_high: every vertex of high (but not super-high) degree scans its
+    # neighbor list and keeps edges to neighbors introducing a new center.
+    # ------------------------------------------------------------------ #
+    for w in graph.vertices():
+        if not params.is_high_degree(graph.degree(w)):
+            continue
+        seen: Set[int] = set()
+        for x in graph.neighbors(w):
+            if high_sets[x] - seen:
+                spanner.add(canonical_edge(w, x))
+            seen |= high_sets[x]
+
+    # ------------------------------------------------------------------ #
+    # H_super: every vertex scans each block of size n^{3/4} independently.
+    # ------------------------------------------------------------------ #
+    block = params.super_threshold
+    for w in graph.vertices():
+        neighbors: List[int] = list(graph.neighbors(w))
+        for start in range(0, len(neighbors), block):
+            seen_block: Set[int] = set()
+            for x in neighbors[start : start + block]:
+                if super_sets[x] - seen_block:
+                    spanner.add(canonical_edge(w, x))
+                seen_block |= super_sets[x]
+
+    return spanner
+
+
+def classify_edges(lca: ThreeSpannerLCA) -> Dict[str, int]:
+    """Count edges in each class of the Section 2.1 partition (for reports)."""
+    graph = lca.graph
+    params = lca.params
+    counts = {"low": 0, "high": 0, "super": 0}
+    for (u, v) in graph.edges():
+        counts[params.classify_edge(graph.degree(u), graph.degree(v))] += 1
+    return counts

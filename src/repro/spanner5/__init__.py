@@ -1,0 +1,32 @@
+"""LCA for 5-spanners (Section 3 of the paper; Theorems 3.4 and 3.5)."""
+
+from .buckets import (
+    BucketComponent,
+    DegreeBoundedCenterSystem,
+    bucket_containing,
+    partition_into_buckets,
+)
+from .classify import CROWDED, DESERTED, OUTSIDE, DesertedCrowdedClassifier
+from .lca import FiveSpannerLCA
+from .params import FiveSpannerParams
+from .representatives import (
+    RepresentativeComponent,
+    RepresentativeEdgeComponent,
+    RepresentativeSystem,
+)
+
+__all__ = [
+    "BucketComponent",
+    "DegreeBoundedCenterSystem",
+    "partition_into_buckets",
+    "bucket_containing",
+    "DesertedCrowdedClassifier",
+    "DESERTED",
+    "CROWDED",
+    "OUTSIDE",
+    "FiveSpannerLCA",
+    "FiveSpannerParams",
+    "RepresentativeSystem",
+    "RepresentativeEdgeComponent",
+    "RepresentativeComponent",
+]

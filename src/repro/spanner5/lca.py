@@ -1,0 +1,129 @@
+"""The final 5-spanner LCA (Section 3; Theorems 3.4 and 3.5).
+
+The spanner is the union of the sub-constructions of Table 2:
+
+* E_low  — edges with a low-degree endpoint are kept outright,
+* E_bckt — cluster bucketing (rules A and B of H_bckt),
+* E_rep  — representatives (rules A and B of H_rep),
+* E_super — the generalized H_super block construction with threshold
+  ``Δ_super = n^{1 - 1/(2r)}`` plus the S' center edges it relies on.
+
+With ``r = 3`` (the default) this gives the general-graph 5-spanner of
+Theorem 3.4: Õ(n^{4/3}) edges with Õ(n^{5/6}) probes per query.  Larger ``r``
+realizes Theorem 3.5 for graphs of minimum degree ``n^{1/2 - 1/(2r)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.lca import CombinedLCA
+from ..core.registry import register
+from ..core.seed import Seed, SeedLike
+from ..graphs.graph import Graph
+from ..spanner3.centers import PrefixCenterSystem
+from ..spanner3.components import (
+    CenterEdgeComponent,
+    LowDegreeComponent,
+    SuperBlockComponent,
+)
+from .buckets import BucketComponent, DegreeBoundedCenterSystem
+from .classify import DesertedCrowdedClassifier
+from .params import FiveSpannerParams
+from .representatives import (
+    RepresentativeComponent,
+    RepresentativeEdgeComponent,
+    RepresentativeSystem,
+)
+
+
+class FiveSpannerLCA(CombinedLCA):
+    """LCA for 5-spanners with Õ(n^{1+1/r}) edges and Õ(n^{1-1/(2r)}) probes."""
+
+    name = "spanner5"
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        params: Optional[FiveSpannerParams] = None,
+        stretch_parameter: int = 3,
+        hitting_constant: float = 2.0,
+    ) -> None:
+        seed = Seed.of(seed)
+        if params is None:
+            params = FiveSpannerParams.for_graph(
+                graph.num_vertices,
+                stretch_parameter=stretch_parameter,
+                hitting_constant=hitting_constant,
+            )
+        self.params = params
+        self.classifier = DesertedCrowdedClassifier(params)
+
+        # Center set S of H_bckt: low-degree vertices, prefix Δ_med.
+        self.bucket_centers = DegreeBoundedCenterSystem(
+            seed=seed.derive("spanner5/bucket-centers"),
+            probability=params.bucket_center_probability,
+            prefix=params.med_threshold,
+            degree_bound=params.super_threshold,
+            independence=params.independence,
+        )
+        # Center set S' shared by H_super and H_rep: prefix Δ_super.
+        self.super_centers = PrefixCenterSystem(
+            seed=seed.derive("spanner5/super-centers"),
+            probability=params.super_center_probability,
+            prefix=params.super_threshold,
+            independence=params.independence,
+        )
+        self.representatives = RepresentativeSystem(
+            seed=seed.derive("spanner5/representatives"),
+            params=params,
+            super_centers=self.super_centers,
+        )
+
+        components = [
+            LowDegreeComponent(graph, seed, threshold=params.low_threshold),
+            CenterEdgeComponent(graph, seed, systems=[self.super_centers]),
+            _BucketCenterEdges(graph, seed, self.bucket_centers),
+            BucketComponent(graph, seed, params=params, centers=self.bucket_centers),
+            RepresentativeEdgeComponent(
+                graph, seed, params=params, system=self.representatives
+            ),
+            RepresentativeComponent(
+                graph, seed, params=params, system=self.representatives
+            ),
+            SuperBlockComponent(
+                graph,
+                seed,
+                threshold=params.super_threshold,
+                centers=self.super_centers,
+            ),
+        ]
+        super().__init__(graph, seed, components)
+
+    def stretch_bound(self) -> Optional[int]:
+        return 5
+
+
+class _BucketCenterEdges(CenterEdgeComponent):
+    """Center edges of the degree-bounded system S (rule A of H_bckt)."""
+
+    name = "spanner5-bucket-center-edges"
+
+    def __init__(self, graph: Graph, seed: SeedLike, system: DegreeBoundedCenterSystem) -> None:
+        # CenterEdgeComponent only relies on ``is_center_edge``; the bucket
+        # system provides the same interface with its degree bound applied.
+        super().__init__(graph, seed, systems=[system])
+
+
+@register("spanner5")
+def _make_five_spanner(graph: Graph, seed: SeedLike, **kwargs) -> FiveSpannerLCA:
+    return FiveSpannerLCA(graph, seed, **kwargs)
+
+
+@register("spanner5-min-degree")
+def _make_five_spanner_min_degree(
+    graph: Graph, seed: SeedLike, stretch_parameter: int = 4, **kwargs
+) -> FiveSpannerLCA:
+    """Theorem 3.5 variant: sparser 5-spanners for min-degree graphs."""
+    return FiveSpannerLCA(graph, seed, stretch_parameter=stretch_parameter, **kwargs)

@@ -1,0 +1,125 @@
+"""Parameters of the 5-spanner LCA (Section 3).
+
+For a parameter ``r ≥ 2`` the construction uses three degree thresholds
+
+* ``Δ_low  = n^{1/r}``
+* ``Δ_med  = n^{1/2 - 1/(2r)}``
+* ``Δ_super = n^{1 - 1/(2r)}``
+
+With ``r = 3`` (the value used for general graphs) these simplify to
+``Δ_low = Δ_med = n^{1/3}`` and ``Δ_super = n^{5/6}``, and the four edge
+classes E_low / E_bckt / E_rep / E_super of Table 2 cover every edge.  For
+``r > 3`` the construction matches Theorem 3.5 and assumes the input graph
+has minimum degree at least ``Δ_med``.
+
+Implementation note: edges incident to a vertex of degree ≤ ``Δ_med`` are
+always kept (our E_low threshold is ``max(Δ_low, Δ_med)``, which equals
+``Δ_low`` for every ``r ≤ 3``).  This keeps the stretch guarantee
+unconditional for every ``r`` — for ``r = 3``, the general-graph case, it is
+exactly the paper's rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ParameterError
+from ..rand.kwise import recommended_independence
+from ..rand.sampler import hitting_probability, log_count
+
+
+@dataclass(frozen=True)
+class FiveSpannerParams:
+    """Concrete thresholds and probabilities of the 5-spanner construction."""
+
+    num_vertices: int
+    stretch_parameter: int
+    #: E_low threshold (edges with an endpoint of degree ≤ this are kept).
+    low_threshold: int
+    #: Δ_med — block/bucket size and the lower end of the "medium" band.
+    med_threshold: int
+    #: Δ_super — super-high degree threshold (also S' prefix and block size).
+    super_threshold: int
+    #: Election probability of the bucket center set S (Θ(log n / Δ_med)).
+    bucket_center_probability: float
+    #: Election probability of the super center set S' (Θ(log n / Δ_super)).
+    super_center_probability: float
+    #: Number of random neighbor indices drawn for Reps(v) (Θ(log n)).
+    representative_samples: int
+    #: Hash family independence (Θ(log n)).
+    independence: int
+
+    @classmethod
+    def for_graph(
+        cls,
+        num_vertices: int,
+        stretch_parameter: int = 3,
+        hitting_constant: float = 2.0,
+        representative_constant: float = 3.0,
+        independence: int | None = None,
+    ) -> "FiveSpannerParams":
+        """Derive parameters from the graph size and ``r``.
+
+        ``stretch_parameter`` is the paper's ``r``; ``r = 3`` targets general
+        graphs (Theorem 3.4), larger ``r`` targets graphs with minimum degree
+        ``n^{1/2 - 1/(2r)}`` (Theorem 3.5).
+        """
+        if num_vertices < 1:
+            raise ParameterError("the graph must have at least one vertex")
+        if stretch_parameter < 2:
+            raise ParameterError("the stretch parameter r must be at least 2")
+        n = int(num_vertices)
+        r = int(stretch_parameter)
+        low = max(1, int(math.ceil(n ** (1.0 / r))))
+        med = max(1, int(math.ceil(n ** (0.5 - 1.0 / (2.0 * r)))))
+        super_ = max(med, int(math.ceil(n ** (1.0 - 1.0 / (2.0 * r)))))
+        effective_low = max(low, med)
+        if independence is None:
+            independence = recommended_independence(n)
+        return cls(
+            num_vertices=n,
+            stretch_parameter=r,
+            low_threshold=effective_low,
+            med_threshold=med,
+            super_threshold=super_,
+            bucket_center_probability=hitting_probability(med, n, hitting_constant),
+            super_center_probability=hitting_probability(super_, n, hitting_constant),
+            representative_samples=log_count(n, representative_constant),
+            independence=int(independence),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vertex / edge classification (Table 2)
+    # ------------------------------------------------------------------ #
+    def in_medium_band(self, degree: int) -> bool:
+        """``deg(v) ∈ [Δ_med, Δ_super]`` — the V[Δ_med, Δ_super] band."""
+        return self.med_threshold <= degree <= self.super_threshold
+
+    def is_super_degree(self, degree: int) -> bool:
+        """``deg(v) > Δ_super``."""
+        return degree > self.super_threshold
+
+    def classify_edge(self, degree_u: int, degree_v: int) -> str:
+        """Edge class per Table 2: 'low', 'super' or 'medium'.
+
+        The medium class is further split into E_bckt / E_rep by the
+        deserted/crowded classification, which requires probes; the split is
+        performed by :class:`~repro.spanner5.classify.DesertedCrowdedClassifier`.
+        """
+        if min(degree_u, degree_v) <= self.low_threshold:
+            return "low"
+        if max(degree_u, degree_v) > self.super_threshold:
+            return "super"
+        return "medium"
+
+    # ------------------------------------------------------------------ #
+    # Theoretical targets
+    # ------------------------------------------------------------------ #
+    def expected_edge_bound(self) -> float:
+        """Õ(n^{1 + 1/r}) — n^{4/3} for the general-graph case."""
+        return float(self.num_vertices) ** (1.0 + 1.0 / self.stretch_parameter)
+
+    def expected_probe_bound(self) -> float:
+        """Õ(n^{1 - 1/(2r)}) — n^{5/6} for the general-graph case."""
+        return float(self.num_vertices) ** (1.0 - 1.0 / (2.0 * self.stretch_parameter))

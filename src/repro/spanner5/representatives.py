@@ -1,0 +1,203 @@
+"""H_rep: the representative method (Section 3, Idea IV).
+
+Crowded vertices (medium degree, but most of their first ``Δ_med`` neighbors
+are super-high degree) cannot be clustered through low-degree centers.
+Instead every medium-band vertex ``v`` picks Θ(log n) random positions of its
+neighbor list; the super-high-degree neighbors found there are its
+*representatives* ``Reps(v)``.  Each representative ``x`` has (w.h.p.) centers
+``S'(x)`` of the super construction among its first ``Δ_super`` neighbors, so
+``v`` sits at distance 2 from the centers ``RS(v) = ∪_{x ∈ Reps(v)} S'(x)``.
+
+The construction keeps:
+
+* rule (A): the edge from every medium-band vertex to each of its
+  representatives, and
+* rule (B): the edge ``(u, v)`` (both endpoints medium-band) when ``v``
+  introduces, through its representatives, a center not reachable through the
+  representatives of ``u``'s earlier medium-band neighbors.
+
+Together with the super construction (which supplies the center edges
+``(x, s)`` for ``s ∈ S'(x)``) this takes care of E_rep with stretch 5:
+``u – w – x' – s – x – v`` where ``w`` is the first earlier neighbor covering
+the center ``s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.lca import SpannerLCA
+from ..core.oracle import AdjacencyListOracle
+from ..core.seed import SeedLike
+from ..graphs.graph import Graph
+from ..rand.sampler import IndexSampler
+from ..spanner3.centers import PrefixCenterSystem
+from .params import FiveSpannerParams
+
+
+class RepresentativeSystem:
+    """Computation of ``Reps(v)`` and ``RS(v)``."""
+
+    def __init__(
+        self,
+        seed: SeedLike,
+        params: FiveSpannerParams,
+        super_centers: PrefixCenterSystem,
+    ) -> None:
+        self.params = params
+        self.super_centers = super_centers
+        self._indices = IndexSampler(
+            seed, params.representative_samples, params.independence
+        )
+
+    def representatives(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
+        """``Reps(vertex)``: super-high-degree neighbors at sampled positions.
+
+        Costs O(log n) ``Neighbor`` probes plus O(log n) ``Degree`` probes.
+        Positions are sampled in ``[0, Δ_med)``; positions beyond the actual
+        degree simply contribute nothing (the vertex is then low degree and
+        its edges are kept by E_low anyway).
+        """
+        degree = oracle.degree(vertex)
+        upper = min(self.params.med_threshold, degree)
+        found: List[int] = []
+        seen = set()
+        for index in self._indices.distinct_indices(vertex, self.params.med_threshold):
+            if index >= upper:
+                continue
+            neighbor = oracle.neighbor(vertex, index)
+            if neighbor is None or neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if oracle.degree(neighbor) > self.params.super_threshold:
+                found.append(neighbor)
+        return found
+
+    def reachable_centers(
+        self, oracle: AdjacencyListOracle, vertex: int
+    ) -> Dict[int, int]:
+        """``RS(vertex)`` as a mapping center → witnessing representative."""
+        centers: Dict[int, int] = {}
+        for representative in self.representatives(oracle, vertex):
+            for center in self.super_centers.center_set(oracle, representative):
+                centers.setdefault(center, representative)
+        return centers
+
+    def covers_center(
+        self, oracle: AdjacencyListOracle, vertex: int, center: int
+    ) -> bool:
+        """Whether some representative of ``vertex`` has ``center`` in ``S'``.
+
+        One ``Adjacency`` probe per representative (plus the Reps probes).
+        """
+        for representative in self.representatives(oracle, vertex):
+            if self.super_centers.in_cluster_of(oracle, representative, center):
+                return True
+        return False
+
+    # -- probe-free versions (verification only) ----------------------- #
+    def representatives_global(self, graph: Graph, vertex: int) -> List[int]:
+        degree = graph.degree(vertex)
+        upper = min(self.params.med_threshold, degree)
+        neighbors = graph.neighbors(vertex)
+        found: List[int] = []
+        seen = set()
+        for index in self._indices.distinct_indices(vertex, self.params.med_threshold):
+            if index >= upper:
+                continue
+            neighbor = neighbors[index]
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if graph.degree(neighbor) > self.params.super_threshold:
+                found.append(neighbor)
+        return found
+
+
+class RepresentativeEdgeComponent(SpannerLCA):
+    """Rule (A) of H_rep: keep the edges from a vertex to its representatives."""
+
+    name = "spanner5-rep-edges"
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        params: FiveSpannerParams,
+        system: RepresentativeSystem,
+    ) -> None:
+        super().__init__(graph, seed)
+        self.params = params
+        self.system = system
+
+    def stretch_bound(self) -> Optional[int]:
+        return 1
+
+    def _is_representative_edge(
+        self, oracle: AdjacencyListOracle, owner: int, candidate: int
+    ) -> bool:
+        degree = oracle.degree(owner)
+        if not self.params.in_medium_band(degree):
+            return False
+        return candidate in self.system.representatives(oracle, owner)
+
+    def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
+        return self._is_representative_edge(
+            oracle, u, v
+        ) or self._is_representative_edge(oracle, v, u)
+
+
+class RepresentativeComponent(SpannerLCA):
+    """Rule (B) of H_rep: the new-center-through-representatives rule."""
+
+    name = "spanner5-rep"
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        params: FiveSpannerParams,
+        system: RepresentativeSystem,
+    ) -> None:
+        super().__init__(graph, seed)
+        self.params = params
+        self.system = system
+
+    def stretch_bound(self) -> Optional[int]:
+        return 5
+
+    def _kept_by_scan(self, oracle: AdjacencyListOracle, scanner: int, other: int) -> bool:
+        """Evaluate rule (B) with ``scanner`` traversing its neighbor list."""
+        if not self.params.in_medium_band(oracle.degree(scanner)):
+            return False
+        if not self.params.in_medium_band(oracle.degree(other)):
+            return False
+        index = oracle.adjacency(scanner, other)
+        if index is None:
+            return False
+        remaining = set(self.system.reachable_centers(oracle, other).keys())
+        if not remaining:
+            return False
+        for j in range(index):
+            if not remaining:
+                return False
+            earlier = oracle.neighbor(scanner, j)
+            if earlier is None:
+                break
+            if not self.params.in_medium_band(oracle.degree(earlier)):
+                continue
+            earlier_reps = self.system.representatives(oracle, earlier)
+            if not earlier_reps:
+                continue
+            remaining = {
+                center
+                for center in remaining
+                if not any(
+                    self.system.super_centers.in_cluster_of(oracle, rep, center)
+                    for rep in earlier_reps
+                )
+            }
+        return bool(remaining)
+
+    def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
+        return self._kept_by_scan(oracle, u, v) or self._kept_by_scan(oracle, v, u)

@@ -1,0 +1,22 @@
+"""LCA for O(k²)-spanners (Section 4 of the paper; Theorem 1.2)."""
+
+from .bfs import Exploration, explore, explore_global
+from .dense import DenseConnectorComponent, VoronoiTreeComponent
+from .lca import KSquaredSpannerLCA
+from .params import KSquaredParams
+from .sparse import SparseSpannerComponent
+from .voronoi import ClusterInfo, KSquaredRandomness, LocalView
+
+__all__ = [
+    "Exploration",
+    "explore",
+    "explore_global",
+    "KSquaredSpannerLCA",
+    "KSquaredParams",
+    "KSquaredRandomness",
+    "LocalView",
+    "ClusterInfo",
+    "SparseSpannerComponent",
+    "VoronoiTreeComponent",
+    "DenseConnectorComponent",
+]

@@ -1,0 +1,106 @@
+"""Parameters of the O(k²)-spanner LCA (Section 4).
+
+Throughout Section 4 the paper fixes
+
+* ``L = Θ(n^{1/3})`` — the exploration budget of the BFS variant, the cluster
+  size bound and (via ``1/L``) the Voronoi-cell marking probability,
+* ``p_center = Θ(log n / L)`` — the center election probability, so the
+  centers hit every k-neighborhood of size ≥ L,
+* ``q = Θ(n^{1/k} log n)`` — how many low-rank Voronoi cells each cluster may
+  connect to in rule (3) of H^B_dense (this is what brings the stretch down
+  from the O(log n) of Lenzen–Levi to O(k)).
+
+The stretch parameter ``k`` also controls the radius of the sparse/dense
+classification and of the Voronoi cells, and the number of rank blocks used
+by the bounded-independence rank function (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ParameterError
+from ..rand.kwise import recommended_independence
+from ..rand.sampler import hitting_probability
+
+
+@dataclass(frozen=True)
+class KSquaredParams:
+    """Concrete parameters of the O(k²)-spanner construction."""
+
+    num_vertices: int
+    #: The stretch parameter ``k`` (the spanner stretch is O(k²)).
+    stretch_parameter: int
+    #: Exploration / cluster-size budget ``L = Θ(n^{1/3})``.
+    exploration_budget: int
+    #: Center election probability ``Θ(log n / L)``.
+    center_probability: float
+    #: Voronoi-cell marking probability (``1/L`` in the paper).
+    mark_probability: float
+    #: Rank quota ``q = Θ(n^{1/k} log n)`` of rule (3).
+    rank_quota: int
+    #: Hash-family independence (Θ(log n), Section 5).
+    independence: int
+
+    @classmethod
+    def for_graph(
+        cls,
+        num_vertices: int,
+        stretch_parameter: int,
+        hitting_constant: float = 2.0,
+        quota_constant: float = 2.0,
+        exploration_budget: int | None = None,
+        independence: int | None = None,
+    ) -> "KSquaredParams":
+        """Derive the Section 4 parameters for an n-vertex graph.
+
+        ``exploration_budget`` may be overridden (the paper's remark after
+        Theorem 1.2 notes the L/p trade-off); the default is ``⌈n^{1/3}⌉``.
+        """
+        if num_vertices < 1:
+            raise ParameterError("the graph must have at least one vertex")
+        if stretch_parameter < 1:
+            raise ParameterError("the stretch parameter k must be at least 1")
+        n = int(num_vertices)
+        k = int(stretch_parameter)
+        budget = (
+            max(2, int(math.ceil(n ** (1.0 / 3.0))))
+            if exploration_budget is None
+            else max(2, int(exploration_budget))
+        )
+        if independence is None:
+            independence = recommended_independence(n)
+        log_n = math.log(max(2, n))
+        quota = max(1, int(math.ceil(quota_constant * log_n * n ** (1.0 / k))))
+        return cls(
+            num_vertices=n,
+            stretch_parameter=k,
+            exploration_budget=budget,
+            center_probability=hitting_probability(budget, n, hitting_constant),
+            mark_probability=min(1.0, 1.0 / budget),
+            rank_quota=quota,
+            independence=int(independence),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Theoretical targets
+    # ------------------------------------------------------------------ #
+    def expected_edge_bound(self) -> float:
+        """Õ(n^{1+1/k}) — the target size (without log factors)."""
+        return float(self.num_vertices) ** (1.0 + 1.0 / self.stretch_parameter)
+
+    def expected_probe_bound(self, max_degree: int) -> float:
+        """Õ(Δ⁴ n^{2/3}) — the probe target of Theorem 1.2."""
+        return float(max_degree) ** 4 * float(self.num_vertices) ** (2.0 / 3.0)
+
+    def nominal_stretch(self) -> int:
+        """A concrete O(k²) stretch figure used for reporting.
+
+        The analysis gives a supergraph path through O(k) Voronoi cells, each
+        of diameter ≤ 2k, i.e. roughly ``(2k+1)(2k+1)``; we report
+        ``4k² + 6k + 1`` as the nominal bound (the constant is not optimized
+        in the paper either).
+        """
+        k = self.stretch_parameter
+        return 4 * k * k + 6 * k + 1

@@ -1,0 +1,100 @@
+"""Tests for spanner verification utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    density_ratio,
+    measure_stretch,
+    preserves_connectivity,
+    size_against_bound,
+    spanner_is_connected,
+    verify_spanner,
+)
+from repro.core.errors import GraphError
+from repro.graphs import Graph, cycle_graph, gnp_graph, path_graph
+
+
+def test_full_graph_has_stretch_one():
+    graph = gnp_graph(40, 0.2, seed=1)
+    report = measure_stretch(graph, graph.edges())
+    assert report.max_stretch == 1
+    assert report.is_finite
+    assert report.checked_edges == graph.num_edges
+    assert report.satisfies(1)
+
+
+def test_cycle_minus_edge_has_stretch_n_minus_one():
+    graph = cycle_graph(10)
+    removed = (0, 9) if graph.has_edge(0, 9) else (9, 0)
+    spanner = [e for e in graph.edges() if set(e) != set(removed)]
+    report = measure_stretch(graph, spanner)
+    assert report.max_stretch == 9
+    assert report.worst_edge is not None
+    assert not report.satisfies(5)
+    assert report.satisfies(9)
+
+
+def test_limit_treats_long_paths_as_disconnected():
+    graph = cycle_graph(10)
+    spanner = [e for e in graph.edges() if set(e) != {0, 9}]
+    report = measure_stretch(graph, spanner, limit=3)
+    assert report.disconnected_edges == 1
+    assert not report.is_finite
+    assert not report.satisfies(100)
+
+
+def test_empty_spanner_on_edgeless_pairs():
+    graph = Graph.from_edges([(0, 1)])
+    report = measure_stretch(graph, [])
+    assert report.disconnected_edges == 1
+
+
+def test_subgraph_check_rejects_foreign_edges():
+    graph = path_graph(5)
+    with pytest.raises(GraphError):
+        measure_stretch(graph, [(0, 4)])
+
+
+def test_sample_edges_restricts_checks():
+    graph = cycle_graph(20)
+    report = measure_stretch(graph, graph.edges(), sample_edges=[(0, 1), (5, 6)])
+    assert report.checked_edges == 2
+
+
+def test_verify_spanner_uses_bound_plus_one_limit():
+    graph = cycle_graph(12)
+    spanner = [e for e in graph.edges() if set(e) != {0, 11}]
+    ok_report = verify_spanner(graph, graph.edges(), stretch_bound=1)
+    assert ok_report.satisfies(1)
+    bad_report = verify_spanner(graph, spanner, stretch_bound=3)
+    assert not bad_report.satisfies(3)
+
+
+def test_preserves_connectivity_and_spanner_is_connected():
+    graph = gnp_graph(50, 0.15, seed=2)
+    assert preserves_connectivity(graph, graph.edges())
+    tree_like = [e for i, e in enumerate(sorted(graph.edges())) if i % 2 == 0]
+    # dropping half the edges may disconnect; just check the predicate runs
+    result = preserves_connectivity(graph, tree_like)
+    assert isinstance(result, bool)
+    assert spanner_is_connected(graph, graph.edges()) or not spanner_is_connected(
+        graph, graph.edges()
+    )
+
+
+def test_density_ratio_and_bound_ratio():
+    graph = cycle_graph(10)
+    assert density_ratio(graph, graph.edges()) == pytest.approx(1.0)
+    assert density_ratio(graph, list(graph.edges())[:5]) == pytest.approx(0.5)
+    assert density_ratio(Graph({}), []) == 0.0
+    assert size_against_bound(100, 200.0) == pytest.approx(0.5)
+    assert size_against_bound(100, 0.0) == float("inf")
+
+
+def test_stretch_report_on_empty_edge_set_graph():
+    graph = Graph({0: [], 1: []})
+    report = measure_stretch(graph, [])
+    assert report.max_stretch == 0
+    assert report.checked_edges == 0

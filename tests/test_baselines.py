@@ -1,0 +1,120 @@
+"""Tests for the global baselines and the distributed simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure_stretch, preserves_connectivity
+from repro.baselines import (
+    ClusterSampler,
+    SparseSpanningSubgraphLCA,
+    adjacency_from_edges,
+    baswana_sen_spanner,
+    expected_size_bound,
+    greedy_size_bound,
+    greedy_spanner,
+    simulate_baswana_sen,
+)
+from repro.core.errors import ParameterError
+from repro.graphs import gnp_graph, grid_graph, is_connected
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_baswana_sen_stretch_guarantee(k):
+    graph = gnp_graph(120, 0.15, seed=3)
+    spanner = baswana_sen_spanner(graph, stretch_parameter=k, seed=1)
+    report = measure_stretch(graph, spanner, limit=2 * k)
+    assert report.max_stretch <= 2 * k - 1
+    assert preserves_connectivity(graph, spanner)
+
+
+def test_baswana_sen_sparsifies_dense_graphs():
+    graph = gnp_graph(150, 0.4, seed=5)
+    spanner = baswana_sen_spanner(graph, stretch_parameter=2, seed=1)
+    assert len(spanner) < graph.num_edges
+    # within a polylog factor of the k n^{1+1/k} bound
+    assert len(spanner) < 20 * expected_size_bound(graph.num_vertices, 2)
+
+
+def test_baswana_sen_deterministic_in_seed():
+    graph = gnp_graph(80, 0.2, seed=2)
+    assert baswana_sen_spanner(graph, 2, seed=4) == baswana_sen_spanner(graph, 2, seed=4)
+
+
+def test_cluster_sampler_validation_and_rates():
+    with pytest.raises(ParameterError):
+        ClusterSampler(seed=1, stretch_parameter=0, num_vertices_global=10)
+    with pytest.raises(ParameterError):
+        ClusterSampler(seed=1, stretch_parameter=2, num_vertices_global=0)
+    sampler = ClusterSampler(seed=1, stretch_parameter=2, num_vertices_global=400)
+    rate = sum(1 for c in range(2000) if sampler.is_sampled(1, c)) / 2000
+    assert abs(rate - 400 ** -0.5) < 0.03
+    with pytest.raises(ParameterError):
+        sampler.is_sampled(3, 0)
+
+
+def test_simulate_baswana_sen_k1_keeps_one_edge_per_adjacent_cluster():
+    """k = 1: no phase-1 rounds; every vertex keeps one edge to each
+    neighboring (singleton) cluster, i.e. all edges survive."""
+    graph = grid_graph(4, 4)
+    sampler = ClusterSampler(seed=1, stretch_parameter=1, num_vertices_global=16)
+    run = simulate_baswana_sen(adjacency_from_edges(graph.vertices(), graph.edges()), sampler)
+    assert run.all_edges() == set(graph.edges())
+
+
+def test_simulation_attributes_edges_to_vertices():
+    graph = gnp_graph(40, 0.2, seed=7)
+    sampler = ClusterSampler(seed=2, stretch_parameter=2, num_vertices_global=40)
+    run = simulate_baswana_sen(adjacency_from_edges(graph.vertices(), graph.edges()), sampler)
+    for vertex, edges in run.added_by.items():
+        for (u, v) in edges:
+            assert vertex in (u, v)
+            assert graph.has_edge(u, v)
+    assert set(run.final_cluster) == set(graph.vertices())
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_greedy_spanner_stretch_and_size(k):
+    graph = gnp_graph(100, 0.3, seed=9)
+    spanner = greedy_spanner(graph, stretch_parameter=k)
+    report = measure_stretch(graph, spanner, limit=2 * k)
+    assert report.max_stretch <= 2 * k - 1
+    assert len(spanner) <= graph.num_edges
+    assert len(spanner) < 4 * greedy_size_bound(graph.num_vertices, k)
+
+
+def test_greedy_spanner_is_deterministic():
+    graph = gnp_graph(60, 0.3, seed=1)
+    assert greedy_spanner(graph, 2) == greedy_spanner(graph, 2)
+
+
+def test_greedy_spanner_on_tree_keeps_everything():
+    from repro.graphs import path_graph
+
+    graph = path_graph(20)
+    assert greedy_spanner(graph, 3) == set(graph.edges())
+
+
+def test_sparse_spanning_lca_preserves_connectivity():
+    graph = gnp_graph(80, 0.15, seed=4)
+    lca = SparseSpanningSubgraphLCA(graph, seed=3, radius=3)
+    kept = lca.materialize()
+    assert preserves_connectivity(graph, kept.edges)
+    # it actually drops some edges on a graph with many short cycles
+    assert kept.num_edges < graph.num_edges
+    assert lca.stretch_bound() is None
+
+
+def test_sparse_spanning_lca_consistent_between_orientations():
+    graph = gnp_graph(40, 0.2, seed=6)
+    lca = SparseSpanningSubgraphLCA(graph, seed=3, radius=2)
+    for (u, v) in list(graph.edges())[:30]:
+        assert lca.query(u, v) == lca.query(v, u)
+
+
+def test_sparse_spanning_keeps_bridges():
+    from repro.graphs import path_graph
+
+    graph = path_graph(15)
+    lca = SparseSpanningSubgraphLCA(graph, seed=1, radius=4)
+    assert lca.materialize().num_edges == graph.num_edges

@@ -1,0 +1,107 @@
+"""Tests for per-edge stretch certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    best_guarantee_by_degree,
+    certify_edge,
+    certify_edges,
+    measure_stretch,
+    summarize_certificates,
+)
+from repro.core.errors import ParameterError
+from repro.core.lca import KeepAllLCA
+from repro.graphs import gnp_graph, planted_hub_graph
+from repro.spanner3 import ThreeSpannerLCA
+from repro.spanner5 import FiveSpannerLCA
+
+
+@pytest.fixture
+def graph():
+    return planted_hub_graph(120, num_hubs=4, hub_degree=60, seed=9)
+
+
+def test_kept_edges_certify_stretch_one(graph):
+    lca = ThreeSpannerLCA(graph, seed=3)
+    for (u, v) in list(graph.edges())[:30]:
+        certificate = certify_edge(lca, u, v)
+        if certificate.in_spanner:
+            assert certificate.guarantee == 1
+            assert certificate.rule == "kept"
+        else:
+            assert certificate.guarantee == 3
+
+
+def test_certificates_are_sound_for_three_spanner(graph):
+    """The measured per-edge distance in the spanner never exceeds the
+    certified guarantee."""
+    lca = ThreeSpannerLCA(graph, seed=3)
+    materialized = lca.materialize()
+    certificates = certify_edges(lca, graph.edges())
+    for certificate in certificates:
+        report = measure_stretch(
+            graph,
+            materialized.edges,
+            limit=certificate.guarantee,
+            sample_edges=[certificate.edge],
+        )
+        assert report.max_stretch <= certificate.guarantee
+        assert report.disconnected_edges == 0
+
+
+def test_certificates_are_sound_for_five_spanner():
+    graph = gnp_graph(70, 0.25, seed=11)
+    lca = FiveSpannerLCA(graph, seed=5)
+    materialized = lca.materialize()
+    for certificate in certify_edges(lca, list(graph.edges())[:60]):
+        report = measure_stretch(
+            graph,
+            materialized.edges,
+            limit=certificate.guarantee,
+            sample_edges=[certificate.edge],
+        )
+        assert report.max_stretch <= certificate.guarantee
+
+
+def test_certificate_rows_and_summary(graph):
+    lca = ThreeSpannerLCA(graph, seed=3)
+    certificates = certify_edges(lca, list(graph.edges())[:40])
+    row = certificates[0].as_row()
+    assert "rule" in row and "per-edge stretch" in row
+    summary = summarize_certificates(certificates)
+    assert summary["total"] == 40
+    assert summary["kept"] <= 40
+    assert sum(summary["by_rule"].values()) == 40
+    assert sum(summary["by_guarantee"].values()) == 40
+
+
+def test_best_guarantee_by_degree_three_spanner(graph):
+    lca = ThreeSpannerLCA(graph, seed=3)
+    low = lca.params.low_threshold
+    assert best_guarantee_by_degree(lca, low, 10 * low) == 1
+    assert best_guarantee_by_degree(lca, low + 1, low + 2) == 3
+
+
+def test_best_guarantee_by_degree_five_spanner():
+    graph = gnp_graph(60, 0.3, seed=2)
+    lca = FiveSpannerLCA(graph, seed=3)
+    params = lca.params
+    assert best_guarantee_by_degree(lca, params.low_threshold, 1000) == 1
+    assert (
+        best_guarantee_by_degree(lca, params.low_threshold + 1, params.super_threshold + 1)
+        == 3
+    )
+    mid = params.low_threshold + 1
+    if mid <= params.super_threshold:
+        assert best_guarantee_by_degree(lca, mid, mid) == 5
+
+
+def test_unsupported_construction_rejected(graph):
+    keep_all = KeepAllLCA(graph, seed=1)
+    u, v = next(iter(graph.edges()))
+    with pytest.raises(ParameterError):
+        certify_edge(keep_all, u, v)
+    with pytest.raises(ParameterError):
+        best_guarantee_by_degree(keep_all, 3, 4)

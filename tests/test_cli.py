@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import GENERATORS, build_parser, main
+from repro.graphs import gnp_graph, read_edge_list, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(gnp_graph(60, 0.2, seed=3), path)
+    return str(path)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "spanner3" in out and "spanner5" in out and "spannerk" in out
+
+
+def test_generate_command_writes_readable_graph(tmp_path, capsys):
+    out_path = tmp_path / "generated.txt"
+    code = main(
+        ["generate", "--family", "gnp", "--n", "50", "--density", "0.2", "--out", str(out_path)]
+    )
+    assert code == 0
+    graph = read_edge_list(out_path)
+    assert graph.num_vertices == 50
+    assert "wrote" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+def test_every_generator_family_is_buildable(family, tmp_path):
+    out_path = tmp_path / f"{family}.txt"
+    code = main(
+        ["generate", "--family", family, "--n", "40", "--density", "0.1",
+         "--out", str(out_path), "--seed", "2"]
+    )
+    assert code == 0
+    assert read_edge_list(out_path).num_vertices >= 16
+
+
+def test_query_command_with_explicit_edges(graph_file, capsys):
+    graph = read_edge_list(graph_file)
+    u, v = next(iter(graph.edges()))
+    code = main(
+        ["query", "--graph", graph_file, "--algorithm", "spanner3",
+         "--edge", f"{u},{v}", "--seed", "4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"({u}, {v})" in out
+    assert "probes" in out
+
+
+def test_query_command_default_count(graph_file, capsys):
+    assert main(["query", "--graph", graph_file, "--count", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("(") >= 3
+
+
+def test_query_rejects_malformed_edge(graph_file):
+    with pytest.raises(SystemExit):
+        main(["query", "--graph", graph_file, "--edge", "nonsense"])
+
+
+def test_evaluate_command(graph_file, capsys):
+    code = main(
+        ["evaluate", "--graph", graph_file, "--algorithm", "spanner3", "--seed", "4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stretch" in out
+    assert "spanner3" in out
+
+
+def test_evaluate_generated_graph(capsys):
+    code = main(
+        ["evaluate", "--generate", "gnp", "--n", "60", "--density", "0.2",
+         "--algorithm", "spanner3", "--stretch-sample", "30"]
+    )
+    assert code == 0
+
+
+def test_sweep_command(capsys):
+    code = main(
+        ["sweep", "--algorithm", "spanner3", "--sizes", "40,80", "--queries", "15"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fitted exponents" in out
+
+
+def test_lowerbound_command(capsys):
+    code = main(["lowerbound", "--n", "26", "--degree", "3", "--budget", "5", "--trials", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Theorem 1.3" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_family_rejected(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(
+        ["generate", "--out", str(tmp_path / "x.txt"), "--n", "20"]
+    )
+    args.generate = "martian"
+    with pytest.raises(SystemExit):
+        from repro.cli import cmd_generate
+
+        cmd_generate(args)

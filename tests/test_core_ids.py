@@ -1,0 +1,70 @@
+"""Tests for vertex / edge identifier helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ids
+
+
+def test_vertex_id_is_identity_for_ints():
+    assert ids.vertex_id(42) == 42
+    assert ids.vertex_id(0) == 0
+
+
+def test_ordered_edge_id_preserves_order():
+    assert ids.ordered_edge_id(5, 3) == (5, 3)
+    assert ids.ordered_edge_id(3, 5) == (3, 5)
+
+
+def test_canonical_edge_id_sorts_endpoints():
+    assert ids.canonical_edge_id(5, 3) == (3, 5)
+    assert ids.canonical_edge_id(3, 5) == (3, 5)
+
+
+def test_canonical_edge_matches_id():
+    assert ids.canonical_edge(9, 2) == (2, 9)
+
+
+def test_canonicalize_edges_deduplicates_orientations():
+    edges = [(1, 2), (2, 1), (3, 4)]
+    assert ids.canonicalize_edges(edges) == {(1, 2), (3, 4)}
+
+
+def test_is_self_loop():
+    assert ids.is_self_loop(7, 7)
+    assert not ids.is_self_loop(7, 8)
+
+
+def test_min_edge_by_ordered_id_picks_lexicographic_minimum():
+    edges = [(5, 1), (2, 9), (2, 3)]
+    assert ids.min_edge_by_ordered_id(edges) == (2, 3)
+
+
+def test_min_edge_by_ordered_id_empty_returns_none():
+    assert ids.min_edge_by_ordered_id([]) is None
+
+
+def test_min_edge_by_canonical_id_ignores_orientation():
+    edges = [(9, 1), (4, 3)]
+    # canonical ids: (1, 9) and (3, 4) -> minimum is (9, 1) whose canonical id is smaller
+    assert ids.min_edge_by_canonical_id(edges) == (9, 1)
+
+
+def test_require_hashable_rejects_unhashable():
+    with pytest.raises(TypeError):
+        ids.require_hashable([1, 2, 3])
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+def test_canonical_edge_is_symmetric(u, v):
+    assert ids.canonical_edge(u, v) == ids.canonical_edge(v, u)
+    a, b = ids.canonical_edge(u, v)
+    assert a <= b
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)), min_size=1, max_size=30))
+def test_min_edge_is_member_of_input(edges):
+    chosen = ids.min_edge_by_ordered_id(edges)
+    assert chosen in edges

@@ -1,0 +1,116 @@
+"""Tests for probe counting, budgets and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProbeBudgetExceededError
+from repro.core.probes import (
+    ADJACENCY,
+    DEGREE,
+    NEIGHBOR,
+    ProbeCounter,
+    ProbeSnapshot,
+    ProbeStatistics,
+)
+
+
+def test_counter_records_each_kind():
+    counter = ProbeCounter()
+    counter.record(NEIGHBOR)
+    counter.record(NEIGHBOR)
+    counter.record(DEGREE)
+    counter.record(ADJACENCY, amount=3)
+    assert counter.neighbor == 2
+    assert counter.degree == 1
+    assert counter.adjacency == 3
+    assert counter.total == 6
+
+
+def test_counter_rejects_unknown_kind():
+    counter = ProbeCounter()
+    with pytest.raises(ValueError):
+        counter.record("telepathy")
+
+
+def test_budget_enforcement():
+    counter = ProbeCounter(budget=2)
+    counter.record(NEIGHBOR)
+    counter.record(DEGREE)
+    with pytest.raises(ProbeBudgetExceededError):
+        counter.record(ADJACENCY)
+
+
+def test_snapshot_subtraction():
+    counter = ProbeCounter()
+    counter.record(NEIGHBOR)
+    before = counter.snapshot()
+    counter.record(NEIGHBOR)
+    counter.record(ADJACENCY)
+    delta = counter.snapshot() - before
+    assert delta.neighbor == 1
+    assert delta.adjacency == 1
+    assert delta.degree == 0
+    assert delta.total == 2
+
+
+def test_measure_context_manager():
+    counter = ProbeCounter()
+    counter.record(DEGREE)
+    with counter.measure() as measurement:
+        counter.record(NEIGHBOR)
+        counter.record(NEIGHBOR)
+    assert measurement.total == 2
+    assert measurement.used.neighbor == 2
+
+
+def test_measure_unfinished_raises():
+    counter = ProbeCounter()
+    with counter.measure() as measurement:
+        with pytest.raises(RuntimeError):
+            _ = measurement.used
+    # after the block it is finished
+    assert measurement.total == 0
+
+
+def test_reset_keeps_budget():
+    counter = ProbeCounter(budget=5)
+    counter.record(NEIGHBOR, amount=4)
+    counter.reset()
+    assert counter.total == 0
+    counter.record(NEIGHBOR, amount=5)
+    with pytest.raises(ProbeBudgetExceededError):
+        counter.record(NEIGHBOR)
+
+
+def test_snapshot_as_dict():
+    snapshot = ProbeSnapshot(neighbor=1, degree=2, adjacency=3)
+    data = snapshot.as_dict()
+    assert data["total"] == 6
+    assert data[NEIGHBOR] == 1
+
+
+def test_statistics_aggregation():
+    stats = ProbeStatistics()
+    for value in [5, 1, 9, 3]:
+        stats.add(value)
+    assert stats.queries == 4
+    assert stats.max == 9
+    assert stats.mean == pytest.approx(4.5)
+    assert stats.total == 18
+    assert stats.percentile(0) == 1
+    assert stats.percentile(100) == 9
+
+
+def test_statistics_empty():
+    stats = ProbeStatistics()
+    assert stats.max == 0
+    assert stats.mean == 0.0
+    assert stats.percentile(50) == 0
+
+
+def test_statistics_percentile_bounds():
+    stats = ProbeStatistics()
+    stats.add(1)
+    with pytest.raises(ValueError):
+        stats.percentile(150)

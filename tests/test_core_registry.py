@@ -1,0 +1,54 @@
+"""Tests for the LCA registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import registry
+from repro.core.errors import ParameterError
+from repro.core.lca import KeepAllLCA
+from repro.graphs import gnp_graph
+
+
+def test_builtin_constructions_are_registered():
+    names = registry.available()
+    for expected in ("spanner3", "spanner5", "spannerk", "sparse-spanning"):
+        assert expected in names
+
+
+def test_create_instantiates_by_name():
+    graph = gnp_graph(40, 0.2, seed=1)
+    lca = registry.create("spanner3", graph, seed=3)
+    assert lca.name == "spanner3"
+    u, v = next(iter(graph.edges()))
+    assert isinstance(lca.query(u, v), bool)
+
+
+def test_create_unknown_name_raises():
+    graph = gnp_graph(10, 0.3, seed=1)
+    with pytest.raises(ParameterError):
+        registry.create("does-not-exist", graph, seed=1)
+
+
+def test_create_many():
+    graph = gnp_graph(30, 0.2, seed=1)
+    lcas = registry.create_many(["spanner3", "spanner5"], graph, seed=2)
+    assert [l.name for l in lcas] == ["spanner3", "spanner5"]
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ParameterError):
+
+        @registry.register("spanner3")
+        def _factory(graph, seed, **kwargs):  # pragma: no cover - never called
+            return KeepAllLCA(graph, seed)
+
+
+def test_custom_registration_roundtrip():
+    @registry.register("test-keep-all-registry")
+    def _factory(graph, seed, **kwargs):
+        return KeepAllLCA(graph, seed)
+
+    graph = gnp_graph(12, 0.4, seed=1)
+    lca = registry.create("test-keep-all-registry", graph, seed=1)
+    assert lca.materialize().num_edges == graph.num_edges

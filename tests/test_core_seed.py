@@ -1,0 +1,56 @@
+"""Tests for the Seed abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeedError
+from repro.core.seed import Seed
+
+
+def test_seed_from_int():
+    assert Seed.of(5).value == 5
+    assert Seed(-3).value == 3  # negatives normalized
+
+
+def test_seed_from_string_is_deterministic():
+    a = Seed.of("experiment-1")
+    b = Seed.of("experiment-1")
+    c = Seed.of("experiment-2")
+    assert a == b
+    assert a != c
+
+
+def test_seed_of_seed_is_identity():
+    seed = Seed(7)
+    assert Seed.of(seed) is seed
+
+
+def test_derive_is_deterministic_and_label_sensitive():
+    root = Seed(99)
+    assert root.derive("centers") == root.derive("centers")
+    assert root.derive("centers") != root.derive("ranks")
+    assert root.derive("centers") != root
+
+
+def test_derive_indexed_distinct_per_index():
+    root = Seed(1)
+    children = {root.derive_indexed("level", i).value for i in range(10)}
+    assert len(children) == 10
+
+
+def test_different_roots_give_different_children():
+    assert Seed(1).derive("x") != Seed(2).derive("x")
+
+
+def test_invalid_material_rejected():
+    with pytest.raises(SeedError):
+        Seed.of(3.14)  # type: ignore[arg-type]
+    with pytest.raises(SeedError):
+        Seed.of(True)  # type: ignore[arg-type]
+
+
+def test_int_and_repr():
+    seed = Seed(42)
+    assert int(seed) == 42
+    assert "42" in repr(seed)

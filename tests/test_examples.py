@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs successfully on small inputs.
+
+The examples double as executable documentation; these tests keep them
+working as the library evolves.  Each example is invoked as a subprocess the
+way a user would run it, with arguments small enough for the whole module to
+finish in a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["120", "0.2", "3"]),
+    ("social_network_queries.py", ["200", "40", "5"]),
+    ("cluster_overlay.py", ["6", "8", "2"]),
+    ("lower_bound_demo.py", ["26", "4", "1"]),
+    ("probe_budget_study.py", ["200", "0.15", "3"]),
+    ("stretch_certificates.py", ["90", "0.3", "2"]),
+]
+
+
+@pytest.mark.parametrize("script, args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_cleanly(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert completed.stdout.strip(), "examples must print a report"
+
+
+def test_examples_directory_has_quickstart_plus_scenarios():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 4  # quickstart plus at least three scenarios

@@ -1,0 +1,144 @@
+"""Tests for the adjacency-list Graph class."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import GraphError, UnknownVertexError
+from repro.graphs import Graph, gnp_graph
+
+
+def test_from_edges_basic():
+    g = Graph.from_edges([(1, 2), (2, 3)])
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+    assert g.degree(2) == 2
+    assert set(g.neighbors(2)) == {1, 3}
+
+
+def test_from_edges_ignores_duplicate_edges():
+    g = Graph.from_edges([(1, 2), (2, 1), (1, 2)])
+    assert g.num_edges == 1
+    assert g.degree(1) == 1
+
+
+def test_from_edges_rejects_self_loops():
+    with pytest.raises(GraphError):
+        Graph.from_edges([(1, 1)])
+
+
+def test_isolated_vertices_supported():
+    g = Graph.from_edges([(1, 2)], vertices=[1, 2, 3, 4])
+    assert g.num_vertices == 4
+    assert g.degree(3) == 0
+
+
+def test_neighbor_at_and_adjacency_index_agree():
+    g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+    for index in range(g.degree(0)):
+        neighbor = g.neighbor_at(0, index)
+        assert g.adjacency_index(0, neighbor) == index
+    assert g.neighbor_at(0, 99) is None
+    assert g.adjacency_index(0, 99) is None
+
+
+def test_unknown_vertex_raises():
+    g = Graph.from_edges([(0, 1)])
+    with pytest.raises(UnknownVertexError):
+        g.degree(7)
+    with pytest.raises(UnknownVertexError):
+        g.adjacency_index(7, 0)
+
+
+def test_validation_detects_asymmetry():
+    with pytest.raises(GraphError):
+        Graph({0: [1], 1: []})
+
+
+def test_validation_detects_repeated_neighbors():
+    with pytest.raises(GraphError):
+        Graph({0: [1, 1], 1: [0, 0]})
+
+
+def test_validation_detects_self_loop():
+    with pytest.raises(GraphError):
+        Graph({0: [0]})
+
+
+def test_missing_neighbor_key_rejected():
+    with pytest.raises(GraphError):
+        Graph({0: [1]})
+
+
+def test_edges_are_reported_once():
+    g = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+    edges = list(g.edges())
+    assert len(edges) == 3
+    assert all(u < v for (u, v) in edges)
+
+
+def test_degree_statistics():
+    g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+    assert g.max_degree() == 3
+    assert g.min_degree() == 1
+    assert g.average_degree() == pytest.approx(2 * 3 / 4)
+
+
+def test_subgraph_with_edges():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    sub = g.subgraph_with_edges([(1, 2)])
+    assert sub.num_vertices == g.num_vertices  # spanning subgraph
+    assert sub.num_edges == 1
+    assert sub.has_edge(1, 2)
+    assert not sub.has_edge(0, 1)
+
+
+def test_subgraph_with_edges_rejects_foreign_edge():
+    g = Graph.from_edges([(0, 1)])
+    with pytest.raises(GraphError):
+        g.subgraph_with_edges([(0, 5)])
+
+
+def test_induced_subgraph():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    sub = g.induced_subgraph([0, 1, 2])
+    assert sub.num_vertices == 3
+    assert sub.num_edges == 2
+
+
+def test_shuffle_seed_changes_order_not_structure():
+    edges = [(0, i) for i in range(1, 10)]
+    g1 = Graph.from_edges(edges, shuffle_seed=1)
+    g2 = Graph.from_edges(edges, shuffle_seed=2)
+    assert set(g1.neighbors(0)) == set(g2.neighbors(0))
+    assert g1.num_edges == g2.num_edges
+    # orders differ with overwhelming probability for 9 neighbors
+    assert list(g1.neighbors(0)) != list(g2.neighbors(0))
+
+
+def test_networkx_round_trip():
+    g = gnp_graph(30, 0.2, seed=4)
+    nx_graph = g.to_networkx()
+    back = Graph.from_networkx(nx_graph)
+    assert back.num_vertices == g.num_vertices
+    assert set(back.edges()) == set(g.edges())
+
+
+def test_contains_and_len():
+    g = Graph.from_edges([(0, 1)])
+    assert 0 in g
+    assert 5 not in g
+    assert len(g) == 2
+    assert "n=2" in repr(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40))
+def test_from_edges_always_symmetric(pairs):
+    edges = [(u, v) for (u, v) in pairs if u != v]
+    g = Graph.from_edges(edges)
+    for (u, v) in g.edges():
+        assert g.has_edge(v, u)
+        assert g.adjacency_index(u, v) is not None
+        assert g.adjacency_index(v, u) is not None

@@ -1,0 +1,96 @@
+"""Tests for BFS distances, connectivity and path utilities."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    Graph,
+    ball_subgraph,
+    bfs_distances,
+    connected_components,
+    cycle_graph,
+    distance,
+    eccentricity,
+    gnp_graph,
+    is_connected,
+    k_neighborhood,
+    pairwise_distances,
+    path_graph,
+    same_component,
+    shortest_path,
+)
+
+
+def test_bfs_distances_on_path():
+    g = path_graph(6)
+    distances = bfs_distances(g, 0)
+    assert distances == {i: i for i in range(6)}
+
+
+def test_bfs_distances_with_cutoff():
+    g = path_graph(10)
+    distances = bfs_distances(g, 0, cutoff=3)
+    assert max(distances.values()) == 3
+    assert len(distances) == 4
+
+
+def test_distance_and_disconnected():
+    g = Graph.from_edges([(0, 1), (2, 3)])
+    assert distance(g, 0, 1) == 1
+    assert distance(g, 0, 0) == 0
+    assert distance(g, 0, 3) is None
+
+
+def test_k_neighborhood_size():
+    g = cycle_graph(12)
+    assert len(k_neighborhood(g, 0, 2)) == 5
+
+
+def test_ball_subgraph_contains_union_of_balls():
+    g = path_graph(12)
+    ball = ball_subgraph(g, [0, 11], radius=2)
+    assert set(ball.vertices()) == {0, 1, 2, 9, 10, 11}
+
+
+def test_eccentricity():
+    g = path_graph(7)
+    assert eccentricity(g, 0) == 6
+    assert eccentricity(g, 3) == 3
+
+
+def test_is_connected_and_components():
+    g = Graph.from_edges([(0, 1), (1, 2), (3, 4)])
+    assert not is_connected(g)
+    components = connected_components(g)
+    assert {frozenset(c) for c in components} == {frozenset({0, 1, 2}), frozenset({3, 4})}
+    assert same_component(g, 0, 2)
+    assert not same_component(g, 0, 4)
+
+
+def test_empty_graph_is_connected():
+    assert is_connected(Graph({}))
+
+
+def test_pairwise_distances_groups_by_source():
+    g = cycle_graph(10)
+    pairs = [(0, 5), (0, 1), (3, 8)]
+    assert pairwise_distances(g, pairs) == [5, 1, 5]
+
+
+def test_shortest_path_endpoints_and_length():
+    g = cycle_graph(8)
+    path = shortest_path(g, 0, 3)
+    assert path[0] == 0 and path[-1] == 3
+    assert len(path) == 4
+    assert shortest_path(g, 2, 2) == [2]
+    disconnected = Graph.from_edges([(0, 1), (2, 3)])
+    assert shortest_path(disconnected, 0, 3) is None
+
+
+def test_distances_agree_with_networkx():
+    g = gnp_graph(60, 0.1, seed=13)
+    nx_graph = g.to_networkx()
+    import networkx as nx
+
+    source = g.vertices()[0]
+    expected = nx.single_source_shortest_path_length(nx_graph, source)
+    assert bfs_distances(g, source) == dict(expected)

@@ -1,0 +1,77 @@
+"""Cross-module integration tests: registry → LCA → harness → reports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import available_lcas, create_lca, evaluate_lca, format_table, graphs
+from repro.analysis import evaluate_materialized
+from repro.baselines import baswana_sen_spanner, greedy_spanner
+from repro.core.lca import MaterializedSpanner
+
+
+def test_package_exposes_version_and_api():
+    assert repro.__version__
+    assert "spanner3" in available_lcas()
+    assert hasattr(repro, "ThreeSpannerLCA")
+    assert hasattr(repro, "FiveSpannerLCA")
+    assert hasattr(repro, "KSquaredSpannerLCA")
+
+
+def test_registry_driven_pipeline_produces_reports():
+    graph = graphs.dense_cluster_graph(80, 8, inter_probability=0.05, seed=5)
+    rows = []
+    for name in ("spanner3", "spanner5"):
+        lca = create_lca(name, graph, seed=3)
+        report = evaluate_lca(lca)
+        assert report.stretch_ok
+        rows.append(report.as_row())
+    text = format_table(rows, title="Integration")
+    assert "spanner3" in text and "spanner5" in text
+
+
+def test_lca_spanners_compare_sanely_to_global_baselines():
+    """The LCA spanners must not be larger than the trivial 'keep all' and the
+    global baselines must not beat the stretch bounds claimed by the LCAs."""
+    graph = graphs.gnp_graph(90, 0.3, seed=8)
+    lca3 = create_lca("spanner3", graph, seed=1)
+    lca3_edges = lca3.materialize().num_edges
+    bs_edges = len(baswana_sen_spanner(graph, 2, seed=1))
+    greedy_edges = len(greedy_spanner(graph, 2))
+    assert lca3_edges <= graph.num_edges
+    assert greedy_edges <= graph.num_edges
+    assert bs_edges <= graph.num_edges
+    # greedy is the sparsest of the three (it is the global yardstick)
+    assert greedy_edges <= lca3_edges
+
+
+def test_materialized_spanner_reevaluation_round_trip():
+    graph = graphs.gnp_graph(60, 0.2, seed=9)
+    lca = create_lca("spanner3", graph, seed=4)
+    materialized = lca.materialize()
+    # Re-wrap the edge set and evaluate it as an external artifact.
+    artifact = MaterializedSpanner(
+        algorithm="external-copy", stretch_bound=3, edges=set(materialized.edges)
+    )
+    report = evaluate_materialized(graph, artifact)
+    assert report.stretch_ok
+    assert report.num_spanner_edges == materialized.num_edges
+
+
+def test_quickstart_docstring_flow():
+    graph = graphs.gnp_graph(100, 0.2, seed=1)
+    lca = repro.ThreeSpannerLCA(graph, seed=7)
+    u, v = next(iter(graph.edges()))
+    answer = lca.query(u, v)
+    assert isinstance(answer, bool)
+    report = evaluate_lca(lca)
+    assert report.stretch.max_stretch <= 3
+
+
+@pytest.mark.parametrize("name", ["spanner3", "spanner5", "sparse-spanning"])
+def test_every_registered_lca_preserves_connectivity(name):
+    graph = graphs.gnp_graph(70, 0.2, seed=12)
+    lca = create_lca(name, graph, seed=2)
+    report = evaluate_lca(lca)
+    assert report.connectivity_preserved

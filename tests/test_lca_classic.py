@@ -1,0 +1,118 @@
+"""Tests for the classic LCAs (MIS, maximal matching, vertex cover)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NotAnEdgeError, UnknownVertexError
+from repro.graphs import cycle_graph, gnp_graph, star_graph
+from repro.lca_classic import (
+    MaximalIndependentSetLCA,
+    MaximalMatchingLCA,
+    VertexCoverLCA,
+    greedy_matching_reference,
+    greedy_mis_reference,
+)
+
+
+@pytest.fixture
+def graph():
+    return gnp_graph(60, 0.1, seed=8)
+
+
+# --------------------------------------------------------------------------- #
+# Maximal independent set
+# --------------------------------------------------------------------------- #
+def test_mis_is_independent_and_maximal(graph):
+    lca = MaximalIndependentSetLCA(graph, seed=4)
+    mis = lca.materialize()
+    for (u, v) in graph.edges():
+        assert not (u in mis and v in mis)  # independence
+    for v in graph.vertices():
+        if v not in mis:
+            assert any(w in mis for w in graph.neighbors(v))  # maximality
+
+
+def test_mis_matches_sequential_greedy(graph):
+    lca = MaximalIndependentSetLCA(graph, seed=4)
+    assert lca.materialize() == greedy_mis_reference(graph, lca)
+
+
+def test_mis_is_deterministic_and_validates_vertices(graph):
+    lca = MaximalIndependentSetLCA(graph, seed=4)
+    v = graph.vertices()[0]
+    assert lca.query(v) == lca.query(v)
+    with pytest.raises(UnknownVertexError):
+        lca.query(10**9)
+    assert lca.probe_stats.queries >= 2
+
+
+def test_mis_on_star_graph():
+    graph = star_graph(20)
+    lca = MaximalIndependentSetLCA(graph, seed=1)
+    mis = lca.materialize()
+    # either the hub alone, or all leaves
+    assert mis == {0} or mis == set(range(1, 20))
+
+
+# --------------------------------------------------------------------------- #
+# Maximal matching / vertex cover
+# --------------------------------------------------------------------------- #
+def test_matching_is_a_matching_and_maximal(graph):
+    lca = MaximalMatchingLCA(graph, seed=9)
+    matching = lca.materialize()
+    used = {}
+    for (u, v) in matching:
+        assert used.setdefault(u, (u, v)) == (u, v)
+        assert used.setdefault(v, (u, v)) == (u, v)
+    matched_vertices = set(used)
+    for (u, v) in graph.edges():
+        assert u in matched_vertices or v in matched_vertices  # maximality
+
+
+def test_matching_matches_sequential_greedy(graph):
+    lca = MaximalMatchingLCA(graph, seed=9)
+    assert lca.materialize() == greedy_matching_reference(graph, lca)
+
+
+def test_matching_rejects_non_edges(graph):
+    lca = MaximalMatchingLCA(graph, seed=9)
+    non_edge = None
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u != v and not graph.has_edge(u, v):
+                non_edge = (u, v)
+                break
+        if non_edge:
+            break
+    with pytest.raises(NotAnEdgeError):
+        lca.query(*non_edge)
+    with pytest.raises(UnknownVertexError):
+        lca.query(10**9, 10**9 + 1)
+
+
+def test_matching_orientation_independent():
+    graph = cycle_graph(12)
+    lca = MaximalMatchingLCA(graph, seed=2)
+    for (u, v) in graph.edges():
+        assert lca.query(u, v) == lca.query(v, u)
+
+
+def test_vertex_cover_covers_every_edge(graph):
+    cover_lca = VertexCoverLCA(graph, seed=9)
+    cover = cover_lca.materialize()
+    for (u, v) in graph.edges():
+        assert u in cover or v in cover
+
+
+def test_vertex_cover_is_twice_matching():
+    graph = cycle_graph(16)
+    matching = MaximalMatchingLCA(graph, seed=3).materialize()
+    cover = VertexCoverLCA(graph, seed=3).materialize()
+    assert len(cover) == 2 * len(matching)
+
+
+def test_vertex_cover_validates_vertices(graph):
+    cover_lca = VertexCoverLCA(graph, seed=9)
+    with pytest.raises(UnknownVertexError):
+        cover_lca.query(10**9)

@@ -1,0 +1,108 @@
+"""Tests for the lower-bound instance distributions and the experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.graphs import distance, is_connected, same_component
+from repro.lowerbound import (
+    DesignatedEdge,
+    advantage_curve,
+    bfs_distinguisher,
+    default_designated_edge,
+    run_distinguishing_experiment,
+    sample_minus_instance,
+    sample_plus_instance,
+)
+
+N, D = 26, 3  # n ≡ 2 (mod 4), d odd — the paper's regime
+
+
+def test_plus_instance_is_d_regular_and_contains_designated_edge():
+    designated = default_designated_edge(D)
+    instance = sample_plus_instance(N, D, designated, seed=1)
+    graph = instance.graph
+    assert all(graph.degree(v) == D for v in graph.vertices())
+    assert graph.has_edge(designated.x, designated.y)
+    assert graph.neighbor_at(designated.x, designated.a) == designated.y
+    assert graph.neighbor_at(designated.y, designated.b) == designated.x
+    assert instance.family == "plus"
+
+
+def test_minus_instance_designated_edge_is_a_bridge_between_halves():
+    designated = default_designated_edge(D)
+    instance = sample_minus_instance(N, D, designated, seed=2)
+    graph = instance.graph
+    assert all(graph.degree(v) == D for v in graph.vertices())
+    assert graph.has_edge(designated.x, designated.y)
+    # removing the designated edge separates the two halves
+    remaining = [e for e in graph.edges() if set(e) != {designated.x, designated.y}]
+    pruned = graph.subgraph_with_edges(remaining)
+    assert not same_component(pruned, designated.x, designated.y)
+    # sides are recorded and the only crossing edge is the designated one
+    sides = instance.sides
+    for (u, v) in graph.edges():
+        if {u, v} == {designated.x, designated.y}:
+            continue
+        assert sides[u] == sides[v]
+
+
+def test_plus_instance_usually_stays_connected_without_designated_edge():
+    designated = default_designated_edge(D)
+    connected = 0
+    for seed in range(5):
+        instance = sample_plus_instance(N, D, designated, seed=seed)
+        remaining = [
+            e for e in instance.graph.edges() if set(e) != {designated.x, designated.y}
+        ]
+        pruned = instance.graph.subgraph_with_edges(remaining)
+        if same_component(pruned, designated.x, designated.y):
+            connected += 1
+    assert connected >= 4  # w.h.p. behaviour of random 3-regular graphs
+
+
+def test_instances_are_deterministic_in_seed():
+    designated = default_designated_edge(D)
+    a = sample_plus_instance(N, D, designated, seed=7).graph
+    b = sample_plus_instance(N, D, designated, seed=7).graph
+    assert set(a.edges()) == set(b.edges())
+
+
+def test_parameter_validation():
+    designated = default_designated_edge(D)
+    with pytest.raises(ParameterError):
+        sample_plus_instance(3, D, designated, seed=1)
+    with pytest.raises(ParameterError):
+        sample_plus_instance(N, N + 1, designated, seed=1)
+    with pytest.raises(ParameterError):
+        sample_plus_instance(N, D, DesignatedEdge(0, 5, 1, 0), seed=1)
+    with pytest.raises(ParameterError):
+        sample_minus_instance(N + 1, D, designated, seed=1)
+    with pytest.raises(ParameterError):
+        sample_minus_instance(24, D, designated, seed=1)  # 24 ≡ 0 (mod 4)
+    with pytest.raises(ParameterError):
+        default_designated_edge(0)
+
+
+def test_bfs_distinguisher_with_large_budget_is_always_right():
+    result = run_distinguishing_experiment(
+        num_vertices=N, degree=D, probe_budget=10_000, trials=8, seed=3
+    )
+    assert result.success_rate == 1.0
+    assert result.advantage == 1.0
+
+
+def test_bfs_distinguisher_with_tiny_budget_is_clueless():
+    result = run_distinguishing_experiment(
+        num_vertices=N, degree=D, probe_budget=2, trials=8, seed=3
+    )
+    # with essentially no probes every answer is "minus": half are right
+    assert result.success_rate == pytest.approx(0.5)
+    assert result.advantage == pytest.approx(0.0)
+
+
+def test_advantage_curve_is_monotone_in_budget_at_the_extremes():
+    curve = advantage_curve(N, D, probe_budgets=[2, 10_000], trials=6, seed=5)
+    assert curve[0].advantage <= curve[-1].advantage
+    assert curve[-1].theory_threshold == pytest.approx(min(N ** 0.5, N / D))

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Random small graphs are generated from random edge lists; the key contracts
+checked on every generated instance are:
+
+* the 3-spanner LCA always returns a subgraph with stretch ≤ 3 that matches
+  its global reference construction,
+* the 5-spanner LCA always returns a subgraph with stretch ≤ 5,
+* the Baswana–Sen baseline always satisfies its (2k−1) guarantee,
+* the bucket partition and the k-wise hash family satisfy their structural
+  invariants for arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import measure_stretch, preserves_connectivity
+from repro.baselines import baswana_sen_spanner
+from repro.graphs import Graph
+from repro.rand import KWiseHash
+from repro.spanner3 import ThreeSpannerLCA, build_reference_spanner
+from repro.spanner5 import FiveSpannerLCA, partition_into_buckets
+
+
+@st.composite
+def small_graphs(draw, max_vertices=22, min_edges=1):
+    n = draw(st.integers(min_value=3, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=min_edges, max_size=3 * n, unique=True)
+    )
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@relaxed
+@given(graph=small_graphs(), seed=st.integers(min_value=0, max_value=10**6))
+def test_three_spanner_invariants_on_random_graphs(graph, seed):
+    lca = ThreeSpannerLCA(graph, seed=seed)
+    materialized = lca.materialize()
+    # subgraph + stretch
+    report = measure_stretch(graph, materialized.edges, limit=4)
+    assert report.is_finite
+    assert report.max_stretch <= 3
+    # connectivity of every component is preserved
+    assert preserves_connectivity(graph, materialized.edges)
+    # the local answers agree with the global construction
+    assert materialized.edges == build_reference_spanner(lca)
+
+
+@relaxed
+@given(graph=small_graphs(max_vertices=18), seed=st.integers(min_value=0, max_value=10**6))
+def test_five_spanner_invariants_on_random_graphs(graph, seed):
+    lca = FiveSpannerLCA(graph, seed=seed)
+    materialized = lca.materialize()
+    report = measure_stretch(graph, materialized.edges, limit=6)
+    assert report.is_finite
+    assert report.max_stretch <= 5
+    assert preserves_connectivity(graph, materialized.edges)
+
+
+@relaxed
+@given(
+    graph=small_graphs(max_vertices=20),
+    seed=st.integers(min_value=0, max_value=10**6),
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_baswana_sen_invariants_on_random_graphs(graph, seed, k):
+    spanner = baswana_sen_spanner(graph, stretch_parameter=k, seed=seed)
+    report = measure_stretch(graph, spanner, limit=2 * k)
+    assert report.is_finite
+    assert report.max_stretch <= 2 * k - 1
+    assert preserves_connectivity(graph, spanner)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    members=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=60, unique=True),
+    bucket_size=st.integers(min_value=1, max_value=10),
+)
+def test_bucket_partition_properties(members, bucket_size):
+    buckets = partition_into_buckets(members, bucket_size)
+    # partition covers exactly the members
+    flattened = [v for bucket in buckets for v in bucket]
+    assert sorted(flattened) == sorted(members)
+    # all buckets except possibly the last have exactly bucket_size members
+    for bucket in buckets[:-1]:
+        assert len(bucket) == bucket_size
+    assert 1 <= len(buckets[-1]) <= bucket_size
+    # buckets are sorted and globally ordered (consistent partition)
+    assert flattened == sorted(members)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**9),
+    xs=st.lists(st.integers(min_value=0, max_value=2**60), min_size=1, max_size=50),
+    probability=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_kwise_hash_properties(seed, xs, probability):
+    h = KWiseHash(seed, independence=8)
+    for x in xs:
+        assert h.value(x) == h.value(x)
+        assert 0.0 <= h.uniform(x) < 1.0
+        coin = h.bernoulli(x, probability)
+        assert isinstance(coin, bool)
+        if probability == 0.0:
+            assert coin is False

@@ -1,0 +1,144 @@
+"""Tests for the d-wise independent hash families (Section 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ParameterError
+from repro.rand import (
+    KWiseHash,
+    KWiseHashFamily,
+    MERSENNE_PRIME,
+    concatenated_rank,
+    recommended_independence,
+    seed_bit_cost,
+)
+
+
+def test_same_seed_same_function():
+    h1 = KWiseHash(7, independence=8)
+    h2 = KWiseHash(7, independence=8)
+    assert all(h1.value(x) == h2.value(x) for x in range(100))
+
+
+def test_different_seeds_differ_somewhere():
+    h1 = KWiseHash(7, independence=8)
+    h2 = KWiseHash(8, independence=8)
+    assert any(h1.value(x) != h2.value(x) for x in range(100))
+
+
+def test_values_lie_in_field():
+    h = KWiseHash(3, independence=10)
+    for x in range(500):
+        assert 0 <= h.value(x) < MERSENNE_PRIME
+
+
+def test_uniform_in_unit_interval():
+    h = KWiseHash(3, independence=10)
+    values = [h.uniform(x) for x in range(2000)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    # mean of 2000 (pairwise independent at least) uniforms concentrates near 1/2
+    assert abs(sum(values) / len(values) - 0.5) < 0.05
+
+
+def test_bernoulli_rate_tracks_probability():
+    h = KWiseHash(11, independence=12)
+    trials = 4000
+    hits = sum(1 for x in range(trials) if h.bernoulli(x, 0.2))
+    assert abs(hits / trials - 0.2) < 0.03
+
+
+def test_bernoulli_validates_probability():
+    h = KWiseHash(1, independence=2)
+    with pytest.raises(ParameterError):
+        h.bernoulli(0, 1.5)
+
+
+def test_integer_range_and_determinism():
+    h = KWiseHash(5, independence=6)
+    values = [h.integer(x, 10) for x in range(300)]
+    assert all(0 <= v < 10 for v in values)
+    assert values == [h.integer(x, 10) for x in range(300)]
+    with pytest.raises(ParameterError):
+        h.integer(0, 0)
+
+
+def test_bits_within_range():
+    h = KWiseHash(5, independence=6)
+    for x in range(200):
+        assert 0 <= h.bits(x, 7) < 2**7
+    with pytest.raises(ParameterError):
+        h.bits(0, 0)
+    with pytest.raises(ParameterError):
+        h.bits(0, 64)
+
+
+def test_independence_parameter_validation():
+    with pytest.raises(ParameterError):
+        KWiseHash(1, independence=0)
+
+
+def test_family_members_are_label_sensitive():
+    family = KWiseHashFamily(9, independence=6)
+    a = family.member("alpha")
+    b = family.member("beta")
+    a2 = family.member("alpha")
+    assert all(a.value(x) == a2.value(x) for x in range(50))
+    assert any(a.value(x) != b.value(x) for x in range(50))
+
+
+def test_family_members_list():
+    family = KWiseHashFamily(9, independence=6)
+    members = family.members("level", 4)
+    assert len(members) == 4
+    values = [m.value(123) for m in members]
+    assert len(set(values)) > 1
+
+
+def test_pairwise_correlation_is_weak():
+    """Empirical sanity check of the independence claim.
+
+    For a d-wise independent family the outputs of two distinct inputs are
+    independent; we check that the empirical correlation of the parity bits
+    of h(2i) and h(2i+1) over many i is close to zero.
+    """
+    h = KWiseHash(21, independence=16)
+    pairs = [(h.value(2 * i) & 1, h.value(2 * i + 1) & 1) for i in range(3000)]
+    mean_x = sum(p[0] for p in pairs) / len(pairs)
+    mean_y = sum(p[1] for p in pairs) / len(pairs)
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in pairs) / len(pairs)
+    assert abs(covariance) < 0.03
+
+
+def test_recommended_independence_scales_logarithmically():
+    assert recommended_independence(2) >= 2
+    assert recommended_independence(1024) == pytest.approx(2 * 10, abs=1)
+    assert recommended_independence(10**6) < 50
+
+
+def test_seed_bit_cost_matches_lemma():
+    # d * max(gamma, beta) with gamma = ceil(log2 n)
+    assert seed_bit_cost(1024, 20) == 20 * 10
+    # O(log^2 n) overall
+    n = 10**6
+    d = recommended_independence(n)
+    assert seed_bit_cost(n, d) <= 10 * math.log2(n) ** 2
+
+
+def test_concatenated_rank_orders_blocks_most_significant_first():
+    family = KWiseHashFamily(4, independence=8)
+    hashes = family.members("rank", 3)
+    rank = concatenated_rank(hashes, 77, bits_per_block=4)
+    blocks = [h.bits(77, 4) for h in hashes]
+    expected = (blocks[0] << 8) | (blocks[1] << 4) | blocks[2]
+    assert rank == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2**61), st.integers(min_value=2, max_value=20))
+def test_value_is_pure_function(x, independence):
+    h = KWiseHash(13, independence=independence)
+    assert h.value(x) == h.value(x)

@@ -1,0 +1,124 @@
+"""Tests for center sampling, rank assignment and index sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.rand import (
+    CenterSampler,
+    IndexSampler,
+    RankAssigner,
+    hitting_probability,
+    log_count,
+)
+
+
+def test_center_sampler_rate_close_to_probability():
+    sampler = CenterSampler(seed=3, probability=0.3, independence=12)
+    hits = sum(1 for v in range(3000) if sampler.is_center(v))
+    assert abs(hits / 3000 - 0.3) < 0.04
+
+
+def test_center_sampler_is_deterministic():
+    a = CenterSampler(seed=3, probability=0.5, independence=8)
+    b = CenterSampler(seed=3, probability=0.5, independence=8)
+    assert [a.is_center(v) for v in range(200)] == [b.is_center(v) for v in range(200)]
+
+
+def test_center_sampler_clamps_probability():
+    sampler = CenterSampler(seed=3, probability=2.0, independence=8)
+    assert sampler.probability == 1.0
+    assert all(sampler.is_center(v) for v in range(50))
+    empty = CenterSampler(seed=3, probability=-1.0, independence=8)
+    assert not any(empty.is_center(v) for v in range(50))
+
+
+def test_centers_among_and_expected_count():
+    sampler = CenterSampler(seed=3, probability=0.5, independence=8)
+    chosen = sampler.centers_among(range(100))
+    assert set(chosen) <= set(range(100))
+    assert sampler.expected_count(100) == pytest.approx(50.0)
+
+
+def test_hitting_probability_formula():
+    p = hitting_probability(threshold=100, num_vertices=1000, multiplier=2.0)
+    assert 0 < p < 1
+    assert hitting_probability(0, 1000) == 1.0
+    assert hitting_probability(1, 4) == 1.0  # clamped at 1
+
+
+def test_hitting_set_property_empirically():
+    """(HII): a vertex with Δ neighbors sees Θ(log n) centers among them."""
+    n, delta = 2000, 100
+    p = hitting_probability(delta, n, multiplier=2.0)
+    sampler = CenterSampler(seed=5, probability=p, independence=16)
+    misses = 0
+    for block in range(100):
+        neighborhood = range(block * delta, (block + 1) * delta)
+        if not any(sampler.is_center(v) for v in neighborhood):
+            misses += 1
+    assert misses == 0
+
+
+def test_rank_assigner_deterministic_and_bounded():
+    ranks = RankAssigner(seed=1, num_blocks=3, bits_per_block=4, independence=8)
+    values = [ranks.rank(v) for v in range(100)]
+    assert values == [ranks.rank(v) for v in range(100)]
+    assert all(0 <= r < 2 ** (3 * 4) for r in values)
+    fractions = [ranks.rank_fraction(v) for v in range(100)]
+    assert all(0.0 <= f < 1.0 for f in fractions)
+
+
+def test_rank_assigner_blocks_compose_rank():
+    ranks = RankAssigner(seed=1, num_blocks=2, bits_per_block=5, independence=8)
+    for v in range(20):
+        expected = (ranks.block(v, 0) << 5) | ranks.block(v, 1)
+        assert ranks.rank(v) == expected
+    with pytest.raises(ParameterError):
+        ranks.block(0, 5)
+
+
+def test_rank_assigner_for_graph_uses_k_blocks():
+    ranks = RankAssigner.for_graph(seed=2, num_vertices=1000, stretch_parameter=4, independence=8)
+    assert ranks.num_blocks == 4
+    assert ranks.bits_per_block >= 1
+
+
+def test_rank_assigner_mostly_distinct():
+    ranks = RankAssigner(seed=9, num_blocks=4, bits_per_block=8, independence=12)
+    values = {ranks.rank(v) for v in range(500)}
+    assert len(values) > 480  # collisions are rare with 32-bit ranks
+
+
+def test_rank_assigner_validation():
+    with pytest.raises(ParameterError):
+        RankAssigner(seed=1, num_blocks=0, bits_per_block=2, independence=4)
+    with pytest.raises(ParameterError):
+        RankAssigner(seed=1, num_blocks=2, bits_per_block=0, independence=4)
+
+
+def test_index_sampler_ranges_and_determinism():
+    sampler = IndexSampler(seed=4, count=10, independence=8)
+    indices = sampler.indices(vertex=7, upper=20)
+    assert len(indices) == 10
+    assert all(0 <= i < 20 for i in indices)
+    assert indices == sampler.indices(vertex=7, upper=20)
+    assert sampler.indices(vertex=7, upper=0) == []
+
+
+def test_index_sampler_distinct_sorted():
+    sampler = IndexSampler(seed=4, count=10, independence=8)
+    distinct = sampler.distinct_indices(vertex=7, upper=20)
+    assert distinct == sorted(set(distinct))
+
+
+def test_index_sampler_validation():
+    with pytest.raises(ParameterError):
+        IndexSampler(seed=1, count=0, independence=4)
+
+
+def test_log_count_bounds():
+    assert log_count(1) == 2
+    assert log_count(1000) >= 2
+    assert log_count(1000, multiplier=3.0) > log_count(1000, multiplier=1.0)

@@ -1,0 +1,67 @@
+"""Tests for the naïve single-center ablation variant (Idea I baseline)."""
+
+from __future__ import annotations
+
+import random
+
+from repro import create_lca, graphs
+from repro.analysis import measure_stretch, preserves_connectivity
+from repro.core.oracle import AdjacencyListOracle
+from repro.spanner3 import NaiveSingleCenterLCA, SingleCenterSystem, ThreeSpannerLCA
+
+
+def test_single_center_system_picks_first_sampled_prefix_neighbor():
+    graph = graphs.Graph.from_edges([(0, i) for i in range(1, 8)])
+    system = SingleCenterSystem(seed=3, probability=1.0, prefix=4, independence=8)
+    oracle = AdjacencyListOracle(graph)
+    assert system.center_of(oracle, 0) == graph.neighbor_at(0, 0)
+    empty = SingleCenterSystem(seed=3, probability=0.0, prefix=4, independence=8)
+    assert empty.center_of(oracle, 0) is None
+
+
+def test_single_center_membership_requires_prefix_scan():
+    graph = graphs.Graph.from_edges([(0, i) for i in range(1, 12)])
+    system = SingleCenterSystem(seed=3, probability=1.0, prefix=6, independence=8)
+    oracle = AdjacencyListOracle(graph)
+    before = oracle.counter.total
+    system.in_cluster_of(oracle, 0, graph.neighbor_at(0, 0))
+    # one Degree probe + up to `prefix` Neighbor probes — much more than the
+    # single Adjacency probe of the multiple-center system
+    assert oracle.counter.total - before >= 2
+
+
+def test_naive_lca_is_a_valid_three_spanner():
+    graph = graphs.gnp_graph(80, 0.25, seed=6)
+    lca = NaiveSingleCenterLCA(graph, seed=4)
+    materialized = lca.materialize()
+    report = measure_stretch(graph, materialized.edges, limit=4)
+    assert report.is_finite
+    assert report.max_stretch <= 3
+    assert preserves_connectivity(graph, materialized.edges)
+
+
+def test_naive_lca_is_registered():
+    graph = graphs.gnp_graph(40, 0.3, seed=1)
+    lca = create_lca("spanner3-naive", graph, seed=2)
+    u, v = next(iter(graph.edges()))
+    assert isinstance(lca.query(u, v), bool)
+
+
+def test_naive_variant_uses_more_probes_than_idea_one():
+    graph = graphs.gnp_graph(150, 0.25, seed=8)
+    smart = ThreeSpannerLCA(graph, seed=5, hitting_constant=1.0)
+    naive = NaiveSingleCenterLCA(graph, seed=5, hitting_constant=1.0)
+    rng = random.Random(1)
+    sample = rng.sample(list(graph.edges()), 60)
+    for (u, v) in sample:
+        smart.query(u, v)
+        naive.query(u, v)
+    assert naive.probe_stats.mean > smart.probe_stats.mean
+
+
+def test_naive_answers_are_consistent():
+    graph = graphs.gnp_graph(60, 0.3, seed=2)
+    lca = NaiveSingleCenterLCA(graph, seed=9)
+    for (u, v) in list(graph.edges())[:25]:
+        assert lca.query(u, v) == lca.query(v, u)
+        assert lca.query(u, v) == lca.query(u, v)

@@ -1,0 +1,86 @@
+"""Tests for the multiple-center system (Idea I)."""
+
+from __future__ import annotations
+
+from repro.core.oracle import AdjacencyListOracle
+from repro.graphs import Graph, gnp_graph
+from repro.spanner3.centers import PrefixCenterSystem
+
+
+def make_system(prefix=4, probability=0.5, seed=3):
+    return PrefixCenterSystem(
+        seed=seed, probability=probability, prefix=prefix, independence=8
+    )
+
+
+def test_center_membership_is_probe_free():
+    system = make_system()
+    graph = gnp_graph(30, 0.3, seed=1)
+    oracle = AdjacencyListOracle(graph)
+    _ = [system.is_center(v) for v in graph.vertices()]
+    assert oracle.counter.total == 0
+
+
+def test_center_set_is_prefix_of_neighbors():
+    graph = Graph.from_edges([(0, i) for i in range(1, 10)])
+    system = make_system(prefix=4, probability=1.0)
+    oracle = AdjacencyListOracle(graph)
+    centers = system.center_set(oracle, 0)
+    assert centers == list(graph.neighbors(0))[:4]
+    # probes: one Degree + four Neighbor
+    assert oracle.counter.degree == 1
+    assert oracle.counter.neighbor == 4
+
+
+def test_center_set_respects_sampling():
+    graph = Graph.from_edges([(0, i) for i in range(1, 30)])
+    system = make_system(prefix=29, probability=0.4, seed=10)
+    oracle = AdjacencyListOracle(graph)
+    centers = set(system.center_set(oracle, 0))
+    expected = {w for w in graph.neighbors(0) if system.is_center(w)}
+    assert centers == expected
+    assert 0 < len(centers) < 29
+
+
+def test_cluster_membership_single_adjacency_probe():
+    graph = Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+    system = make_system(prefix=2, probability=1.0)
+    oracle = AdjacencyListOracle(graph)
+    first_two = list(graph.neighbors(0))[:2]
+    third = list(graph.neighbors(0))[2]
+    before = oracle.counter.adjacency
+    assert system.in_cluster_of(oracle, 0, first_two[0])
+    assert oracle.counter.adjacency == before + 1
+    assert not system.in_cluster_of(oracle, 0, third)
+
+
+def test_cluster_membership_false_for_non_centers():
+    graph = Graph.from_edges([(0, 1)])
+    system = make_system(prefix=5, probability=0.0)
+    oracle = AdjacencyListOracle(graph)
+    assert not system.in_cluster_of(oracle, 0, 1)
+    # non-centers are rejected without any probe
+    assert oracle.counter.total == 0
+
+
+def test_is_center_edge_checks_both_directions():
+    graph = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+    system = make_system(prefix=1, probability=1.0)
+    oracle = AdjacencyListOracle(graph)
+    for (u, v) in graph.edges():
+        expected = (
+            system.in_cluster_of(oracle, u, v) or system.in_cluster_of(oracle, v, u)
+        )
+        assert system.is_center_edge(oracle, u, v) == expected
+
+
+def test_global_and_oracle_versions_agree():
+    graph = gnp_graph(40, 0.25, seed=5)
+    system = make_system(prefix=5, probability=0.5, seed=2)
+    oracle = AdjacencyListOracle(graph)
+    for v in graph.vertices():
+        assert system.center_set(oracle, v) == system.center_set_global(graph, v)
+    for (u, v) in list(graph.edges())[:30]:
+        assert system.in_cluster_of(oracle, u, v) == system.in_cluster_of_global(
+            graph, u, v
+        )

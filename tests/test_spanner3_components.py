@@ -1,0 +1,126 @@
+"""Unit tests for the individual 3-spanner components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.seed import Seed
+from repro.graphs import Graph, gnp_graph, star_graph
+from repro.spanner3.centers import PrefixCenterSystem
+from repro.spanner3.components import (
+    CenterEdgeComponent,
+    HighDegreeComponent,
+    LowDegreeComponent,
+    SuperBlockComponent,
+)
+from repro.spanner3.params import ThreeSpannerParams
+
+
+def make_centers(prefix, probability, seed=1):
+    return PrefixCenterSystem(
+        seed=seed, probability=probability, prefix=prefix, independence=8
+    )
+
+
+def test_low_degree_component_threshold():
+    graph = star_graph(20)  # hub degree 19, leaves degree 1
+    component = LowDegreeComponent(graph, seed=1, threshold=2)
+    assert component.query(0, 1)  # leaf endpoint is low degree
+    high = LowDegreeComponent(graph, seed=1, threshold=0)
+    assert not high.query(0, 1)
+    assert component.stretch_bound() == 1
+
+
+def test_center_edge_component_matches_systems():
+    graph = gnp_graph(40, 0.3, seed=2)
+    system_a = make_centers(prefix=3, probability=0.5, seed=4)
+    system_b = make_centers(prefix=6, probability=0.2, seed=5)
+    component = CenterEdgeComponent(graph, seed=1, systems=[system_a, system_b])
+    from repro.core.oracle import AdjacencyListOracle
+
+    oracle = AdjacencyListOracle(graph)
+    for (u, v) in list(graph.edges())[:40]:
+        expected = system_a.is_center_edge(oracle, u, v) or system_b.is_center_edge(
+            oracle, u, v
+        )
+        assert component.query(u, v) == expected
+
+
+def test_high_degree_component_keeps_first_new_cluster_edge():
+    """A hand-built instance where the scanning rule is fully predictable."""
+    # Vertex 0 has neighbors 1..6 (in this order); with probability 1 every
+    # vertex is a center, so S(w) = first-`prefix` neighbors of w.
+    edges = [(0, i) for i in range(1, 7)]
+    edges += [(1, 2), (3, 4), (5, 6), (1, 7), (2, 7), (3, 8), (7, 8)]
+    graph = Graph.from_edges(edges)
+    params = ThreeSpannerParams(
+        num_vertices=graph.num_vertices,
+        low_threshold=2,
+        super_threshold=100,
+        high_center_probability=1.0,
+        super_center_probability=0.0,
+        independence=8,
+    )
+    centers = make_centers(prefix=2, probability=1.0)
+    component = HighDegreeComponent(graph, seed=1, params=params, centers=centers)
+    # deg(0) = 6 > low threshold 2 and <= super threshold: vertex 0 scans.
+    # Its first neighbor always introduces a new cluster.
+    first_neighbor = graph.neighbor_at(0, 0)
+    assert component.query(0, first_neighbor)
+    assert component.stretch_bound() == 3
+
+
+def test_high_degree_component_ignores_low_degree_scanners():
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+    params = ThreeSpannerParams(
+        num_vertices=3,
+        low_threshold=5,
+        super_threshold=10,
+        high_center_probability=1.0,
+        super_center_probability=1.0,
+        independence=4,
+    )
+    centers = make_centers(prefix=5, probability=1.0)
+    component = HighDegreeComponent(graph, seed=1, params=params, centers=centers)
+    # every vertex has degree 2 <= low threshold: the scanning rule never fires
+    for (u, v) in graph.edges():
+        assert not component.query(u, v)
+
+
+def test_super_block_component_block_locality():
+    """Blocks are scanned independently: the first edge of each block whose
+    endpoint has a center is kept."""
+    hub = 0
+    leaves = list(range(1, 13))
+    edges = [(hub, leaf) for leaf in leaves]
+    # give each leaf a private neighbor so leaves can have centers among them
+    extra = [(leaf, 100 + leaf) for leaf in leaves]
+    graph = Graph.from_edges(edges + extra)
+    centers = make_centers(prefix=4, probability=1.0)
+    component = SuperBlockComponent(graph, seed=1, threshold=4, centers=centers)
+    neighbor_list = list(graph.neighbors(hub))
+    kept = [component.query(hub, w) for w in neighbor_list]
+    # within every block of 4, the first neighbor introduces a new cluster
+    for block_start in range(0, 12, 4):
+        assert kept[block_start]
+    assert component.stretch_bound() == 3
+
+
+def test_super_block_with_defaults_builds_own_centers():
+    graph = gnp_graph(50, 0.3, seed=3)
+    component = SuperBlockComponent.with_defaults(graph, seed=2, threshold=10)
+    u, v = next(iter(graph.edges()))
+    assert isinstance(component.query(u, v), bool)
+
+
+def test_components_union_equals_full_lca():
+    """The registered 3-spanner equals the union of its four components."""
+    from repro.spanner3 import ThreeSpannerLCA
+
+    graph = gnp_graph(60, 0.3, seed=6)
+    lca = ThreeSpannerLCA(graph, seed=11)
+    for (u, v) in list(graph.edges())[:60]:
+        expected = any(
+            component._decide(lca._oracle, u, v) for component in lca.components
+        )
+        assert lca.query(u, v) == expected

@@ -1,0 +1,143 @@
+"""End-to-end tests for the 3-spanner LCA (Theorem 1.1, r = 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate_lca, graphs
+from repro.analysis import check_consistency, measure_stretch, preserves_connectivity
+from repro.spanner3 import (
+    ThreeSpannerLCA,
+    ThreeSpannerParams,
+    build_reference_spanner,
+    classify_edges,
+)
+
+
+@pytest.fixture(params=["gnp", "hub", "clustered"])
+def test_graph(request):
+    if request.param == "gnp":
+        return graphs.gnp_graph(90, 0.25, seed=11)
+    if request.param == "hub":
+        return graphs.planted_hub_graph(120, num_hubs=4, hub_degree=60, seed=9)
+    return graphs.dense_cluster_graph(100, 10, inter_probability=0.05, seed=5)
+
+
+def test_spanner_is_subgraph_with_stretch_at_most_three(test_graph):
+    lca = ThreeSpannerLCA(test_graph, seed=7)
+    report = evaluate_lca(lca)
+    assert report.stretch.is_finite
+    assert report.stretch.max_stretch <= 3
+    assert report.connectivity_preserved
+
+
+def test_lca_matches_global_reference_construction(test_graph):
+    lca = ThreeSpannerLCA(test_graph, seed=7)
+    materialized = lca.materialize()
+    reference = build_reference_spanner(lca)
+    assert materialized.edges == reference
+
+
+def test_answers_are_consistent_and_order_independent(tiny_graph):
+    lca = ThreeSpannerLCA(tiny_graph, seed=3)
+    assert check_consistency(lca)
+
+
+def test_same_seed_same_spanner_different_seed_may_differ(small_dense_graph):
+    first = ThreeSpannerLCA(small_dense_graph, seed=5).materialize().edges
+    second = ThreeSpannerLCA(small_dense_graph, seed=5).materialize().edges
+    assert first == second
+    third = ThreeSpannerLCA(small_dense_graph, seed=6).materialize().edges
+    # different seed gives a valid spanner; it need not be identical
+    assert measure_stretch(small_dense_graph, third, limit=4).max_stretch <= 3
+
+
+def test_low_degree_edges_always_kept(hub_graph):
+    lca = ThreeSpannerLCA(hub_graph, seed=2)
+    params = lca.params
+    for (u, v) in hub_graph.edges():
+        if min(hub_graph.degree(u), hub_graph.degree(v)) <= params.low_threshold:
+            assert lca.query(u, v)
+
+
+def test_works_with_non_contiguous_vertex_ids():
+    base = graphs.gnp_graph(70, 0.3, seed=4)
+    relabeled = graphs.relabel_randomly(base, seed=8)
+    lca = ThreeSpannerLCA(relabeled, seed=1)
+    report = evaluate_lca(lca)
+    assert report.stretch.max_stretch <= 3
+    assert report.connectivity_preserved
+
+
+def test_robust_to_adjacency_list_order():
+    edges = list(graphs.gnp_graph(80, 0.3, seed=10).edges())
+    for shuffle_seed in (1, 2):
+        graph = graphs.Graph.from_edges(edges, shuffle_seed=shuffle_seed)
+        lca = ThreeSpannerLCA(graph, seed=4)
+        report = evaluate_lca(lca)
+        assert report.stretch.max_stretch <= 3
+
+
+def test_probe_complexity_stays_moderate(small_dense_graph):
+    """Per-query probes stay well below reading the whole graph."""
+    lca = ThreeSpannerLCA(small_dense_graph, seed=7)
+    report = evaluate_lca(lca)
+    # 2m (all adjacency lists) is the trivial upper bound; the LCA must do
+    # substantially better even at this small scale.
+    assert report.probe_max < small_dense_graph.num_edges
+    assert report.probe_mean < report.probe_max
+
+
+def test_disconnected_graph_components_preserved():
+    graph = graphs.disjoint_union(
+        [graphs.gnp_graph(40, 0.3, seed=1), graphs.gnp_graph(40, 0.3, seed=2)]
+    )
+    lca = ThreeSpannerLCA(graph, seed=9)
+    materialized = lca.materialize()
+    assert preserves_connectivity(graph, materialized.edges)
+    stretch = measure_stretch(graph, materialized.edges, limit=4)
+    assert stretch.max_stretch <= 3
+
+
+def test_classify_edges_partitions_all_edges(small_dense_graph):
+    lca = ThreeSpannerLCA(small_dense_graph, seed=7)
+    counts = classify_edges(lca)
+    assert sum(counts.values()) == small_dense_graph.num_edges
+    assert set(counts) == {"low", "high", "super"}
+
+
+def test_stretch_bound_is_three(small_dense_graph):
+    assert ThreeSpannerLCA(small_dense_graph, seed=0).stretch_bound() == 3
+
+
+def test_explicit_params_are_respected(small_dense_graph):
+    params = ThreeSpannerParams.for_graph(
+        small_dense_graph.num_vertices, hitting_constant=1.0
+    )
+    lca = ThreeSpannerLCA(small_dense_graph, seed=7, params=params)
+    assert lca.params is params
+    report = evaluate_lca(lca)
+    assert report.stretch.max_stretch <= 3
+
+
+def test_star_graph_keeps_all_edges():
+    star = graphs.star_graph(50)
+    lca = ThreeSpannerLCA(star, seed=1)
+    # every edge touches a degree-1 vertex → E_low keeps everything
+    assert lca.materialize().num_edges == star.num_edges
+
+
+# fixtures from conftest are used directly in some tests above
+@pytest.fixture
+def tiny_graph():
+    return graphs.gnp_graph(24, 0.3, seed=2)
+
+
+@pytest.fixture
+def small_dense_graph():
+    return graphs.gnp_graph(90, 0.25, seed=11)
+
+
+@pytest.fixture
+def hub_graph():
+    return graphs.planted_hub_graph(120, num_hubs=4, hub_degree=60, seed=9)

@@ -1,0 +1,69 @@
+"""Tests for the 3-spanner parameter derivation and edge classification."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.spanner3 import ThreeSpannerParams
+
+
+def test_thresholds_follow_paper_exponents():
+    params = ThreeSpannerParams.for_graph(10_000)
+    assert params.low_threshold == math.ceil(math.sqrt(10_000))
+    assert params.super_threshold == math.ceil(10_000 ** 0.75)
+    assert params.low_threshold <= params.super_threshold
+
+
+def test_probabilities_scale_like_log_over_threshold():
+    params = ThreeSpannerParams.for_graph(10_000, hitting_constant=2.0)
+    expected_high = 2.0 * math.log(10_000) / params.low_threshold
+    assert params.high_center_probability == pytest.approx(expected_high)
+    assert params.super_center_probability < params.high_center_probability
+
+
+def test_probabilities_clamped_for_small_graphs():
+    params = ThreeSpannerParams.for_graph(10)
+    assert params.high_center_probability <= 1.0
+
+
+def test_degree_classification():
+    params = ThreeSpannerParams.for_graph(10_000)
+    assert params.is_low_degree(params.low_threshold)
+    assert not params.is_low_degree(params.low_threshold + 1)
+    assert params.is_high_degree(params.low_threshold + 1)
+    assert params.is_high_degree(params.super_threshold)
+    assert not params.is_high_degree(params.super_threshold + 1)
+    assert params.is_super_degree(params.super_threshold + 1)
+
+
+def test_edge_classification_uses_minimum_degree():
+    params = ThreeSpannerParams.for_graph(10_000)
+    low, high, super_ = (
+        params.low_threshold,
+        params.super_threshold,
+        params.super_threshold + 10,
+    )
+    assert params.classify_edge(low, super_) == "low"
+    assert params.classify_edge(low + 1, super_) == "high"
+    assert params.classify_edge(super_ + 1, super_ + 5) == "super"
+
+
+def test_theoretical_targets():
+    params = ThreeSpannerParams.for_graph(10_000)
+    assert params.expected_edge_bound() == pytest.approx(10_000 ** 1.5)
+    assert params.expected_probe_bound() == pytest.approx(10_000 ** 0.75)
+
+
+def test_rejects_empty_graph():
+    with pytest.raises(ParameterError):
+        ThreeSpannerParams.for_graph(0)
+
+
+def test_independence_defaults_to_log_n():
+    params = ThreeSpannerParams.for_graph(1 << 16)
+    assert params.independence >= 16
+    explicit = ThreeSpannerParams.for_graph(1 << 16, independence=5)
+    assert explicit.independence == 5

@@ -1,0 +1,97 @@
+"""End-to-end tests for the 5-spanner LCA (Theorems 3.4 and 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate_lca, graphs
+from repro.analysis import check_consistency, measure_stretch, preserves_connectivity
+from repro.spanner5 import FiveSpannerLCA, FiveSpannerParams
+
+
+@pytest.fixture(params=["clustered", "gnp", "hub"])
+def test_graph(request):
+    if request.param == "clustered":
+        return graphs.dense_cluster_graph(100, 10, inter_probability=0.05, seed=5)
+    if request.param == "gnp":
+        return graphs.gnp_graph(80, 0.25, seed=11)
+    return graphs.planted_hub_graph(100, num_hubs=3, hub_degree=50, seed=9)
+
+
+def test_spanner_has_stretch_at_most_five(test_graph):
+    lca = FiveSpannerLCA(test_graph, seed=7)
+    report = evaluate_lca(lca)
+    assert report.stretch.is_finite
+    assert report.stretch.max_stretch <= 5
+    assert report.connectivity_preserved
+
+
+def test_consistency_of_answers(test_graph):
+    lca = FiveSpannerLCA(test_graph, seed=7)
+    sample = list(test_graph.edges())[:40]
+    assert check_consistency(lca, edges=sample)
+
+
+def test_deterministic_in_seed():
+    graph = graphs.dense_cluster_graph(80, 8, inter_probability=0.05, seed=3)
+    first = FiveSpannerLCA(graph, seed=5).materialize().edges
+    second = FiveSpannerLCA(graph, seed=5).materialize().edges
+    assert first == second
+
+
+def test_low_degree_edges_always_kept():
+    graph = graphs.planted_hub_graph(100, num_hubs=3, hub_degree=50, seed=9)
+    lca = FiveSpannerLCA(graph, seed=2)
+    for (u, v) in graph.edges():
+        if min(graph.degree(u), graph.degree(v)) <= lca.params.low_threshold:
+            assert lca.query(u, v)
+
+
+def test_stretch_bound_is_five():
+    graph = graphs.gnp_graph(40, 0.3, seed=1)
+    assert FiveSpannerLCA(graph, seed=0).stretch_bound() == 5
+
+
+def test_min_degree_variant_theorem_3_5():
+    """Theorem 3.5: larger r works on graphs of sufficient minimum degree."""
+    graph = graphs.gnp_graph(80, 0.35, seed=7)  # min degree comfortably above n^{1/4}
+    lca = FiveSpannerLCA(graph, seed=3, stretch_parameter=4)
+    report = evaluate_lca(lca)
+    assert report.stretch.max_stretch <= 5
+    assert report.connectivity_preserved
+
+
+def test_respects_explicit_params():
+    graph = graphs.gnp_graph(60, 0.3, seed=2)
+    params = FiveSpannerParams.for_graph(graph.num_vertices, hitting_constant=1.0)
+    lca = FiveSpannerLCA(graph, seed=7, params=params)
+    assert lca.params is params
+    report = evaluate_lca(lca)
+    assert report.stretch.max_stretch <= 5
+
+
+def test_disconnected_graph_supported():
+    graph = graphs.disjoint_union(
+        [graphs.gnp_graph(40, 0.3, seed=1), graphs.cycle_graph(20)]
+    )
+    lca = FiveSpannerLCA(graph, seed=4)
+    materialized = lca.materialize()
+    assert preserves_connectivity(graph, materialized.edges)
+    assert measure_stretch(graph, materialized.edges, limit=6).max_stretch <= 5
+
+
+def test_works_with_relabelled_ids():
+    base = graphs.dense_cluster_graph(70, 7, inter_probability=0.06, seed=4)
+    relabeled = graphs.relabel_randomly(base, seed=8)
+    lca = FiveSpannerLCA(relabeled, seed=1)
+    report = evaluate_lca(lca)
+    assert report.stretch.max_stretch <= 5
+
+
+def test_probe_counts_are_recorded():
+    graph = graphs.dense_cluster_graph(60, 6, inter_probability=0.05, seed=5)
+    lca = FiveSpannerLCA(graph, seed=7)
+    u, v = next(iter(graph.edges()))
+    outcome = lca.query_with_stats(u, v)
+    assert outcome.probe_total > 0
+    assert lca.probe_stats.queries == 1

@@ -1,0 +1,223 @@
+"""Unit tests for the 5-spanner building blocks (params, classify, buckets, reps)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.oracle import AdjacencyListOracle
+from repro.graphs import Graph, gnp_graph, planted_hub_graph
+from repro.spanner3.centers import PrefixCenterSystem
+from repro.spanner5 import (
+    CROWDED,
+    DESERTED,
+    OUTSIDE,
+    DesertedCrowdedClassifier,
+    FiveSpannerParams,
+    RepresentativeSystem,
+)
+from repro.spanner5.buckets import (
+    DegreeBoundedCenterSystem,
+    bucket_containing,
+    partition_into_buckets,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Parameters
+# --------------------------------------------------------------------------- #
+def test_params_general_graph_case_r3():
+    params = FiveSpannerParams.for_graph(10_000, stretch_parameter=3)
+    assert params.med_threshold == math.ceil(10_000 ** (1 / 3))
+    assert params.super_threshold == math.ceil(10_000 ** (5 / 6))
+    assert params.low_threshold == params.med_threshold  # Δ_low = Δ_med for r=3
+
+
+def test_params_r_validation():
+    with pytest.raises(ParameterError):
+        FiveSpannerParams.for_graph(100, stretch_parameter=1)
+    with pytest.raises(ParameterError):
+        FiveSpannerParams.for_graph(0)
+
+
+def test_params_edge_classification():
+    params = FiveSpannerParams.for_graph(10_000, stretch_parameter=3)
+    low, med, sup = params.low_threshold, params.med_threshold, params.super_threshold
+    assert params.classify_edge(low, sup) == "low"
+    assert params.classify_edge(med + 1, sup + 5) == "super"
+    assert params.classify_edge(med + 1, sup - 1) == "medium"
+    assert params.in_medium_band(med) and params.in_medium_band(sup)
+    assert not params.in_medium_band(sup + 1)
+    assert params.is_super_degree(sup + 1)
+
+
+def test_params_targets():
+    params = FiveSpannerParams.for_graph(10_000, stretch_parameter=3)
+    assert params.expected_edge_bound() == pytest.approx(10_000 ** (4 / 3))
+    assert params.expected_probe_bound() == pytest.approx(10_000 ** (5 / 6))
+
+
+# --------------------------------------------------------------------------- #
+# Deserted / crowded classification
+# --------------------------------------------------------------------------- #
+def build_classifier(num_vertices=1000, med=4, sup=8):
+    params = FiveSpannerParams(
+        num_vertices=num_vertices,
+        stretch_parameter=3,
+        low_threshold=med,
+        med_threshold=med,
+        super_threshold=sup,
+        bucket_center_probability=1.0,
+        super_center_probability=1.0,
+        representative_samples=6,
+        independence=8,
+    )
+    return params, DesertedCrowdedClassifier(params)
+
+
+def test_classifier_outside_band():
+    params, classifier = build_classifier()
+    graph = Graph.from_edges([(0, 1), (0, 2)])  # degrees below Δ_med
+    oracle = AdjacencyListOracle(graph)
+    assert classifier.classify(oracle, 0) == OUTSIDE
+
+
+def test_classifier_deserted_vs_crowded():
+    params, classifier = build_classifier(med=4, sup=8)
+    # vertex 0: degree 5, its first 4 neighbors all have small degree → deserted
+    deserted_edges = [(0, i) for i in range(1, 6)]
+    graph_d = Graph.from_edges(deserted_edges)
+    assert classifier.classify(AdjacencyListOracle(graph_d), 0) == DESERTED
+
+    # vertex 0: degree 5 but its neighbors are hubs of degree > 8 → crowded
+    crowded_edges = [(0, i) for i in range(1, 6)]
+    for hub in range(1, 6):
+        crowded_edges += [(hub, 100 + hub * 20 + j) for j in range(9)]
+    graph_c = Graph.from_edges(crowded_edges)
+    assert classifier.classify(AdjacencyListOracle(graph_c), 0) == CROWDED
+
+
+def test_classifier_global_matches_oracle():
+    params, classifier = build_classifier(med=3, sup=10)
+    graph = planted_hub_graph(80, num_hubs=3, hub_degree=30, seed=2)
+    oracle = AdjacencyListOracle(graph)
+    for v in graph.vertices():
+        assert classifier.classify(oracle, v) == classifier.classify_global(graph, v)
+
+
+# --------------------------------------------------------------------------- #
+# Buckets
+# --------------------------------------------------------------------------- #
+def test_partition_into_buckets_sizes_and_order():
+    members = [9, 1, 5, 3, 7, 2, 8]
+    buckets = partition_into_buckets(members, bucket_size=3)
+    assert [len(b) for b in buckets] == [3, 3, 1]
+    flattened = [v for bucket in buckets for v in bucket]
+    assert flattened == sorted(members)
+
+
+def test_partition_is_order_insensitive():
+    members = [4, 2, 9, 7]
+    assert partition_into_buckets(members, 2) == partition_into_buckets(
+        list(reversed(members)), 2
+    )
+
+
+def test_bucket_containing_returns_members_bucket():
+    members = list(range(10))
+    bucket = bucket_containing(members, bucket_size=4, vertex=5)
+    assert 5 in bucket
+    assert bucket == [4, 5, 6, 7]
+    assert bucket_containing(members, 4, vertex=99) == []
+
+
+def test_degree_bounded_center_system():
+    graph = planted_hub_graph(60, num_hubs=2, hub_degree=30, seed=3)
+    system = DegreeBoundedCenterSystem(
+        seed=5, probability=1.0, prefix=4, degree_bound=10, independence=8
+    )
+    oracle = AdjacencyListOracle(graph)
+    hubs = [v for v in graph.vertices() if graph.degree(v) > 10]
+    assert hubs
+    for hub in hubs:
+        assert not system.is_center(oracle, hub)  # degree bound excludes hubs
+    centers = system.center_set(oracle, hubs[0])
+    for c in centers:
+        assert graph.degree(c) <= 10
+    # cluster members all contain the center within their prefix
+    if centers:
+        members = system.cluster_members(oracle, centers[0])
+        assert centers[0] in members
+        for member in members:
+            if member == centers[0]:
+                continue
+            index = graph.adjacency_index(member, centers[0])
+            assert index is not None and index < 4
+
+
+def test_degree_bounded_global_matches_oracle():
+    graph = gnp_graph(50, 0.2, seed=9)
+    system = DegreeBoundedCenterSystem(
+        seed=5, probability=0.6, prefix=3, degree_bound=8, independence=8
+    )
+    oracle = AdjacencyListOracle(graph)
+    for v in graph.vertices():
+        assert system.is_center(oracle, v) == system.is_center_global(graph, v)
+        assert system.center_set(oracle, v) == system.center_set_global(graph, v)
+
+
+# --------------------------------------------------------------------------- #
+# Representatives
+# --------------------------------------------------------------------------- #
+def make_representative_system(params):
+    super_centers = PrefixCenterSystem(
+        seed=11,
+        probability=1.0,
+        prefix=params.super_threshold,
+        independence=8,
+    )
+    return RepresentativeSystem(seed=13, params=params, super_centers=super_centers)
+
+
+def test_representatives_are_super_degree_neighbors():
+    params = FiveSpannerParams(
+        num_vertices=1000,
+        stretch_parameter=3,
+        low_threshold=4,
+        med_threshold=4,
+        super_threshold=8,
+        bucket_center_probability=1.0,
+        super_center_probability=1.0,
+        representative_samples=8,
+        independence=8,
+    )
+    system = make_representative_system(params)
+    # vertex 0 has 4 hub neighbors (degree > 8) and 1 small neighbor
+    edges = [(0, i) for i in range(1, 6)]
+    for hub in range(1, 5):
+        edges += [(hub, 200 + hub * 30 + j) for j in range(10)]
+    graph = Graph.from_edges(edges)
+    oracle = AdjacencyListOracle(graph)
+    reps = system.representatives(oracle, 0)
+    assert reps  # with 8 samples over 4 positions some hub is hit
+    for rep in reps:
+        assert graph.degree(rep) > params.super_threshold
+    # RS(0) maps centers to witnessing representatives
+    reachable = system.reachable_centers(oracle, 0)
+    for center, witness in reachable.items():
+        assert witness in reps
+        assert system.covers_center(oracle, 0, center)
+
+
+def test_representatives_deterministic_and_global_agrees():
+    params = FiveSpannerParams.for_graph(200, stretch_parameter=3)
+    system = make_representative_system(params)
+    graph = planted_hub_graph(120, num_hubs=4, hub_degree=70, seed=9)
+    oracle = AdjacencyListOracle(graph)
+    for v in list(graph.vertices())[:50]:
+        first = system.representatives(oracle, v)
+        second = system.representatives(oracle, v)
+        assert first == second
+        assert first == system.representatives_global(graph, v)

@@ -1,0 +1,119 @@
+"""Tests for the BFS variant and the D^k_L exploration (Figure 6)."""
+
+from __future__ import annotations
+
+from repro.core.oracle import AdjacencyListOracle
+from repro.graphs import Graph, cycle_graph, grid_graph, path_graph
+from repro.spannerk.bfs import explore, explore_global
+
+
+def no_center(_v):
+    return False
+
+
+def center_set(vertices):
+    chosen = set(vertices)
+    return lambda v: v in chosen
+
+
+def test_exploration_discovers_in_distance_order():
+    graph = path_graph(10)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=4, limit=100, is_center=no_center)
+    assert result.order[0] == 0
+    distances = [result.distance[v] for v in result.order]
+    assert distances == sorted(distances)
+    assert max(distances) <= 4
+    assert set(result.order) == {0, 1, 2, 3, 4}
+
+
+def test_exploration_limit_truncates():
+    graph = grid_graph(6, 6)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=10, limit=7, is_center=no_center)
+    assert len(result.order) == 7
+    assert result.truncated
+
+
+def test_ties_broken_by_increasing_id():
+    # star: all neighbors at distance 1 are enqueued in increasing ID order
+    graph = Graph.from_edges([(0, 5), (0, 3), (0, 9), (0, 1)])
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=2, limit=100, is_center=no_center)
+    assert result.order == [0, 1, 3, 5, 9]
+
+
+def test_first_center_is_first_in_discovery_order():
+    graph = path_graph(10)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=9, limit=100, is_center=center_set({4, 7}))
+    assert result.first_center == 4
+    # the source itself counts if it is a center
+    result2 = explore(oracle, 4, radius=9, limit=100, is_center=center_set({4, 7}))
+    assert result2.first_center == 4
+
+
+def test_no_center_within_radius():
+    graph = path_graph(10)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=2, limit=100, is_center=center_set({8}))
+    assert result.first_center is None
+
+
+def test_parent_pointers_form_shortest_paths():
+    graph = grid_graph(5, 5)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=8, limit=1000, is_center=no_center)
+    for vertex in result.order:
+        path = result.path_to(vertex)
+        assert path[0] == 0 and path[-1] == vertex
+        assert len(path) - 1 == result.distance[vertex]
+        # consecutive path vertices are adjacent
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+
+
+def test_path_to_center():
+    graph = cycle_graph(12)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=6, limit=100, is_center=center_set({3}))
+    path = result.path_to_center()
+    assert path[0] == 0 and path[-1] == 3
+    assert len(path) == 4
+    assert explore(oracle, 0, radius=6, limit=100, is_center=no_center).path_to_center() is None
+
+
+def test_path_to_unknown_vertex_is_none():
+    graph = path_graph(5)
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=1, limit=100, is_center=no_center)
+    assert result.path_to(4) is None
+
+
+def test_probe_cost_bounded_by_expansions():
+    graph = grid_graph(8, 8)
+    oracle = AdjacencyListOracle(graph)
+    limit = 9
+    explore(oracle, 0, radius=10, limit=limit, is_center=no_center)
+    # at most `limit` vertices are expanded, each costing deg+1 probes (Δ=4)
+    assert oracle.counter.total <= limit * (4 + 1) + 1
+
+
+def test_global_exploration_matches_oracle_version():
+    graph = grid_graph(5, 5)
+    oracle = AdjacencyListOracle(graph)
+    with_oracle = explore(oracle, 7, radius=3, limit=10, is_center=center_set({12}))
+    without = explore_global(graph, 7, radius=3, limit=10, is_center=center_set({12}))
+    assert with_oracle.order == without.order
+    assert with_oracle.first_center == without.first_center
+    assert with_oracle.parent == without.parent
+
+
+def test_lexicographically_first_shortest_path_property():
+    """The BFS-tree path is the lexicographically-first shortest path."""
+    # Two shortest paths from 0 to 4: 0-1-4 and 0-2-4; lexicographic rule picks 0-1-4.
+    graph = Graph.from_edges([(0, 1), (0, 2), (1, 4), (2, 4), (4, 5)])
+    oracle = AdjacencyListOracle(graph)
+    result = explore(oracle, 0, radius=3, limit=100, is_center=center_set({5}))
+    assert result.path_to(4) == [0, 1, 4]
+    assert result.path_to_center() == [0, 1, 4, 5]

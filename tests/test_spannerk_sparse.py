@@ -1,0 +1,88 @@
+"""Tests for the sparse side: ball gathering and the local Baswana–Sen replay."""
+
+from __future__ import annotations
+
+from repro.core.oracle import AdjacencyListOracle
+from repro.graphs import bounded_degree_expanderish, cycle_graph, grid_graph
+from repro.spannerk import KSquaredParams, KSquaredRandomness
+from repro.spannerk.sparse import SparseSpannerComponent
+from repro.baselines import ClusterSampler, adjacency_from_edges, simulate_baswana_sen
+from repro.core.seed import Seed
+
+
+def make_component(graph, k=2, center_p=0.0, budget=10, seed=7):
+    params = KSquaredParams(
+        num_vertices=graph.num_vertices,
+        stretch_parameter=k,
+        exploration_budget=budget,
+        center_probability=center_p,
+        mark_probability=0.2,
+        rank_quota=20,
+        independence=10,
+    )
+    randomness = KSquaredRandomness(Seed.of(seed).derive("spannerk"), params)
+    return (
+        SparseSpannerComponent(graph, seed, params=params, randomness=randomness),
+        params,
+        randomness,
+    )
+
+
+def test_dense_dense_edges_are_never_in_h_sparse():
+    graph = grid_graph(5, 5)
+    component, params, randomness = make_component(graph, center_p=1.0)
+    for (u, v) in list(graph.edges())[:20]:
+        assert not component.query(u, v)
+
+
+def test_all_sparse_local_replay_matches_global_simulation():
+    """When every vertex is sparse, querying each edge locally must reproduce
+    exactly the global Baswana–Sen run on the whole graph."""
+    graph = cycle_graph(30)
+    k = 2
+    component, params, _ = make_component(graph, k=k, center_p=0.0, budget=50)
+    # Global run with the same sampler randomness.
+    sampler = ClusterSampler(
+        Seed.of(7).derive("spannerk/baswana-sen"),
+        stretch_parameter=k,
+        num_vertices_global=graph.num_vertices,
+        independence=params.independence,
+    )
+    adjacency = adjacency_from_edges(graph.vertices(), graph.edges())
+    global_run = simulate_baswana_sen(adjacency, sampler)
+    for (u, v) in graph.edges():
+        assert component.query(u, v) == global_run.edge_in_spanner(u, v)
+
+
+def test_gather_ball_completeness():
+    graph = grid_graph(6, 6)
+    component, _, _ = make_component(graph, k=2)
+    oracle = AdjacencyListOracle(graph)
+    ball = component._gather_ball(oracle, [0], radius=2)
+    # Vertices at distance < 2 have complete adjacency recorded.
+    from repro.graphs import bfs_distances
+
+    distances = bfs_distances(graph, 0)
+    for vertex, neighbors in ball.items():
+        if distances[vertex] < 2:
+            assert set(neighbors) == set(graph.neighbors(vertex))
+    # All vertices within distance 2 appear.
+    expected = {v for v, d in distances.items() if d <= 2}
+    assert expected <= set(ball)
+
+
+def test_sparse_component_stretch_guarantee_unit():
+    graph = bounded_degree_expanderish(60, d=4, seed=1)
+    k = 2
+    component, _, _ = make_component(graph, k=k, center_p=0.0, budget=30)
+    kept = {edge for edge in graph.edges() if component.query(*edge)}
+    from repro.analysis import measure_stretch
+
+    report = measure_stretch(graph, kept, limit=2 * k)
+    assert report.max_stretch <= 2 * k - 1
+
+
+def test_stretch_bound_reported():
+    graph = cycle_graph(10)
+    component, _, _ = make_component(graph, k=3)
+    assert component.stretch_bound() == 5

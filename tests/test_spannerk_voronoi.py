@@ -1,0 +1,172 @@
+"""Tests for the Voronoi-cell / cluster machinery of the O(k²) construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import AdjacencyListOracle
+from repro.graphs import bounded_degree_expanderish, grid_graph, path_graph
+from repro.spannerk import KSquaredParams, KSquaredRandomness, LocalView
+
+
+def make_view(graph, *, k=2, budget=8, center_p=0.3, mark_p=0.3, seed=5):
+    params = KSquaredParams(
+        num_vertices=graph.num_vertices,
+        stretch_parameter=k,
+        exploration_budget=budget,
+        center_probability=center_p,
+        mark_probability=mark_p,
+        rank_quota=10,
+        independence=10,
+    )
+    randomness = KSquaredRandomness(seed, params)
+    oracle = AdjacencyListOracle(graph)
+    return LocalView(oracle, params, randomness), params, randomness
+
+
+def test_sparse_dense_classification_matches_center_discovery():
+    graph = bounded_degree_expanderish(60, d=4, seed=1)
+    view, params, randomness = make_view(graph, center_p=0.15)
+    for v in graph.vertices():
+        exploration = view.exploration(v)
+        assert view.is_dense(v) == (exploration.first_center is not None)
+        assert view.is_sparse(v) != view.is_dense(v)
+
+
+def test_all_centers_regime_every_vertex_its_own_cell():
+    graph = grid_graph(6, 6)
+    view, params, _ = make_view(graph, center_p=1.0)
+    for v in graph.vertices():
+        assert view.is_dense(v)
+        assert view.center(v) == v
+        assert view.parent(v) is None
+        assert view.children(v) == []
+        info = view.cluster_info(v)
+        assert info.members == frozenset({v})
+
+
+def test_no_centers_regime_every_vertex_sparse():
+    graph = grid_graph(4, 4)
+    view, _, _ = make_view(graph, center_p=0.0)
+    for v in graph.vertices():
+        assert view.is_sparse(v)
+        assert view.center(v) is None
+        assert view.cluster_info(v) is None
+        assert not view.is_tree_edge(v, v)
+
+
+def test_voronoi_parent_points_towards_center():
+    graph = path_graph(12)
+    view, _, randomness = make_view(graph, center_p=0.0)  # no random centers
+    # force vertex 0 to be the unique center by monkeypatching the sampler
+    randomness.centers.is_center = lambda v: v == 0  # type: ignore[assignment]
+    view._cache.clear()
+    for v in range(1, 5):  # within radius k=2 ... only 1, 2 are dense
+        pass
+    assert view.center(1) == 0 and view.parent(1) == 0
+    assert view.center(2) == 0 and view.parent(2) == 1
+    assert view.is_dense(2)
+    assert view.is_sparse(5)
+    assert view.is_tree_edge(1, 0)
+    assert view.is_tree_edge(1, 2)
+    assert not view.is_tree_edge(3, 4)
+
+
+def test_children_and_subtree_sizes_on_forced_tree():
+    graph = path_graph(8)
+    view, params, randomness = make_view(graph, k=3, budget=20, center_p=0.0)
+    randomness.centers.is_center = lambda v: v == 0  # type: ignore[assignment]
+    # vertices 0..3 are dense (distance ≤ 3 from center 0): a path-shaped tree
+    assert view.children(0) == [1]
+    assert view.children(1) == [2]
+    assert view.children(3) == []
+    subtree = view.subtree_vertices(1)
+    assert set(subtree) == {1, 2, 3}
+    assert not view.is_heavy(1)  # budget 20 > subtree size
+
+
+def test_heavy_vertex_detection_and_grouped_clusters_on_star():
+    from repro.graphs import star_graph
+
+    graph = star_graph(10)  # hub 0 with 9 leaves
+    view, params, randomness = make_view(graph, k=2, budget=4, center_p=0.0)
+    randomness.centers.is_center = lambda v: v == 0  # type: ignore[assignment]
+    # every leaf discovers the hub immediately, so the whole star is one cell
+    assert all(view.center(v) == 0 for v in graph.vertices())
+    # the hub's subtree is the whole cell (10 vertices) > L = 4 → heavy
+    assert view.is_heavy(0)
+    assert view.cluster_info(0).kind == "heavy-singleton"
+    # leaves are light and get grouped into buckets of subtree-sums ≥ L
+    leaf_info = view.cluster_info(1)
+    assert leaf_info.kind == "grouped"
+    assert 1 in leaf_info.members
+    assert 0 not in leaf_info.members
+    assert len(leaf_info.members) <= 2 * params.exploration_budget
+    # the grouped clusters partition the leaves
+    leaves = [v for v in graph.vertices() if v != 0]
+    clusters = {view.cluster_info(v).members for v in leaves}
+    covered = set()
+    for members in clusters:
+        assert not (covered & members)
+        covered |= set(members)
+    assert covered == set(leaves)
+
+
+def test_whole_cell_cluster_when_center_is_light():
+    graph = path_graph(6)
+    view, params, randomness = make_view(graph, k=2, budget=10, center_p=0.0)
+    randomness.centers.is_center = lambda v: v == 0  # type: ignore[assignment]
+    info = view.cluster_info(2)
+    assert info.kind == "whole-cell"
+    assert info.members == frozenset({0, 1, 2})
+    # all members share the same cached cluster object
+    assert view.cluster_info(0) is info
+
+
+def test_cluster_members_share_cell_center():
+    graph = bounded_degree_expanderish(80, d=4, seed=2)
+    view, params, _ = make_view(graph, center_p=0.2, budget=6)
+    for v in list(graph.vertices())[:30]:
+        if not view.is_dense(v):
+            continue
+        info = view.cluster_info(v)
+        assert v in info.members
+        assert len(info.members) <= 2 * params.exploration_budget
+        for member in info.members:
+            assert view.center(member) == info.cell_center
+
+
+def test_adjacent_cells_witnesses_are_real_edges():
+    graph = bounded_degree_expanderish(80, d=4, seed=2)
+    view, params, _ = make_view(graph, center_p=0.25, budget=6)
+    dense = [v for v in graph.vertices() if view.is_dense(v)]
+    assert dense
+    info = view.cluster_info(dense[0])
+    for cell, (member, outside) in view.adjacent_cells(info).items():
+        assert member in info.members
+        assert outside not in info.members
+        assert graph.has_edge(member, outside)
+        assert view.center(outside) == cell
+        assert cell != info.cell_center
+
+
+def test_rank_position_counts_strictly_lower_ranks():
+    graph = grid_graph(4, 4)
+    view, _, randomness = make_view(graph)
+    centers = list(graph.vertices())[:6]
+    target = centers[0]
+    expected = sum(
+        1 for c in centers if randomness.rank_key(c) < randomness.rank_key(target)
+    )
+    assert view.rank_position(target, centers) == expected
+
+
+def test_min_edge_to_cluster():
+    graph = path_graph(6)
+    view, params, randomness = make_view(graph, k=2, budget=10, center_p=0.0)
+    randomness.centers.is_center = lambda v: v in (0, 5)  # type: ignore[assignment]
+    info_a = view.cluster_info(1)
+    info_b = view.cluster_info(4)
+    edge = view.min_edge_to_cluster(info_a, info_b.members)
+    assert edge == (2, 3)
+    assert view.min_edge_to_cluster(info_a, frozenset({5})) is None
