@@ -39,6 +39,7 @@ from .analysis import (
 )
 from .core import (
     AdjacencyListOracle,
+    CachedOracle,
     CombinedLCA,
     MaterializedSpanner,
     ProbeCounter,
@@ -48,7 +49,7 @@ from .core import (
 )
 from .core.registry import available as available_lcas
 from .core.registry import create as create_lca
-from .graphs import Graph
+from .graphs import CSRGraph, Graph
 from .spanner3 import ThreeSpannerLCA, ThreeSpannerParams
 from .spanner5 import FiveSpannerLCA, FiveSpannerParams
 from .spannerk import KSquaredParams, KSquaredSpannerLCA
@@ -65,10 +66,12 @@ __all__ = [
     "lowerbound",
     "rand",
     "Graph",
+    "CSRGraph",
     "Seed",
     "SpannerLCA",
     "CombinedLCA",
     "AdjacencyListOracle",
+    "CachedOracle",
     "ProbeCounter",
     "ProbeStatistics",
     "MaterializedSpanner",

@@ -64,6 +64,7 @@ def evaluate_lca(
     stretch_limit: Optional[int] = None,
     sample_stretch_edges: Optional[int] = None,
     seed: int = 0,
+    mode: str = "batched",
 ) -> EvaluationReport:
     """Materialize an LCA over every edge of its graph and verify the result.
 
@@ -77,9 +78,14 @@ def evaluate_lca(
     sample_stretch_edges:
         When given, only this many randomly chosen edges of ``G`` are checked
         for stretch (the spanner is still materialized over all edges).
+    mode:
+        Materialization engine ("cold", "cached" or "batched").  Defaults to
+        the batched engine, which produces identical edges and identical
+        per-query probe statistics while being several times faster; pass
+        "cold" to time the reference per-query path.
     """
     graph = lca.graph
-    materialized = lca.materialize()
+    materialized = lca.materialize(mode=mode)
     return evaluate_materialized(
         graph,
         materialized,

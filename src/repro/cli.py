@@ -18,9 +18,15 @@ Usage examples::
     python -m repro.cli list
     python -m repro.cli generate --family gnp --n 400 --density 0.1 --out g.txt
     python -m repro.cli evaluate --graph g.txt --algorithm spanner3 --seed 7
+    python -m repro.cli evaluate --graph g.txt --backend csr --query-mode batched
     python -m repro.cli query --graph g.txt --algorithm spanner5 --edge 3,17 --edge 5,8
+    python -m repro.cli query --graph g.txt --query-mode cold --edge 3,17
     python -m repro.cli sweep --algorithm spanner3 --sizes 200,400,800
     python -m repro.cli lowerbound --n 202 --budget 14 --trials 10
+
+``--backend {dict,csr}`` picks the graph storage backend and
+``--query-mode {cold,cached,batched}`` the query engine; both are
+performance knobs only — answers and probe accounting are identical.
 """
 
 from __future__ import annotations
@@ -59,11 +65,18 @@ GENERATORS = {
 
 def _load_graph(args) -> graphs.Graph:
     if getattr(args, "graph", None):
-        return read_edge_list(args.graph)
-    family = getattr(args, "generate", None) or "gnp"
-    if family not in GENERATORS:
-        raise SystemExit(f"unknown graph family {family!r}; choices: {sorted(GENERATORS)}")
-    return GENERATORS[family](args.n, args.density, args.seed)
+        graph = read_edge_list(args.graph)
+    else:
+        family = getattr(args, "generate", None) or "gnp"
+        if family not in GENERATORS:
+            raise SystemExit(
+                f"unknown graph family {family!r}; choices: {sorted(GENERATORS)}"
+            )
+        graph = GENERATORS[family](args.n, args.density, args.seed)
+    backend = getattr(args, "backend", None)
+    if backend:
+        graph = graph.to_backend(backend)
+    return graph
 
 
 def _parse_edges(values: Sequence[str]) -> List[Tuple[int, int]]:
@@ -95,6 +108,9 @@ def cmd_generate(args) -> int:
 def cmd_query(args) -> int:
     graph = _load_graph(args)
     lca = create(args.algorithm, graph, seed=args.seed)
+    # "batched" is a materialization engine; individual queries fall back to
+    # the cached engine (same answers, same per-query probe accounting).
+    lca.set_query_mode("cold" if args.query_mode == "cold" else "cached")
     edges = _parse_edges(args.edge) if args.edge else list(graph.edges())[: args.count]
     rows = []
     for (u, v) in edges:
@@ -113,7 +129,9 @@ def cmd_query(args) -> int:
 def cmd_evaluate(args) -> int:
     graph = _load_graph(args)
     lca = create(args.algorithm, graph, seed=args.seed)
-    report = evaluate_lca(lca, sample_stretch_edges=args.stretch_sample)
+    report = evaluate_lca(
+        lca, sample_stretch_edges=args.stretch_sample, mode=args.query_mode
+    )
     print(format_table([report.as_row()], title=f"{args.algorithm} evaluation"))
     if not report.stretch_ok:
         print("WARNING: measured stretch exceeds the declared bound", file=sys.stderr)
@@ -185,6 +203,26 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
         "--density", type=float, default=0.1, help="generated graph density parameter"
     )
     parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(graphs.BACKENDS),
+        default=None,
+        help="graph storage backend: 'dict' (adjacency dicts) or 'csr' "
+        "(flat compressed-sparse-row arrays); probe behavior is identical. "
+        "Default: the process-wide default (REPRO_GRAPH_BACKEND, else dict)",
+    )
+
+
+def _add_query_mode_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--query-mode",
+        choices=["cold", "cached", "batched"],
+        default="batched",
+        help="query engine: 'cold' re-derives all state per query, 'cached' "
+        "memoizes per-vertex state across queries, 'batched' additionally "
+        "streams materialization; answers and probe accounting are identical "
+        "in every mode (only wall-clock time changes)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--count", type=int, default=10, help="query the first COUNT edges when --edge is absent"
     )
+    _add_query_mode_option(query)
     query.set_defaults(handler=cmd_query)
 
     evaluate = sub.add_parser("evaluate", help="materialize and verify an LCA")
@@ -224,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="verify stretch on a sample of edges instead of all of them",
     )
+    _add_query_mode_option(evaluate)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     sweep = sub.add_parser("sweep", help="size/probe scaling sweep")

@@ -28,7 +28,8 @@ from .lca import (
     PAPER_RESULTS,
     SpannerLCA,
 )
-from .oracle import AdjacencyListOracle, SubgraphOracle
+from .cache import CacheStats, OracleCache
+from .oracle import AdjacencyListOracle, CachedOracle, SubgraphOracle
 from .probes import (
     ADJACENCY,
     DEGREE,
@@ -64,6 +65,9 @@ __all__ = [
     "LCADescription",
     "PAPER_RESULTS",
     "AdjacencyListOracle",
+    "CachedOracle",
+    "OracleCache",
+    "CacheStats",
     "SubgraphOracle",
     "ProbeCounter",
     "ProbeSnapshot",

@@ -1,0 +1,132 @@
+"""Cross-query memoization for the probe oracle.
+
+The LCAs of the paper are pure functions of ``(graph, seed, query)``
+(Definition 1.4), so every intermediate quantity an LCA derives — degrees,
+neighbor-list prefixes, center sets ``S(v)``, cluster memberships,
+representative sets — is itself a pure function of ``(graph, seed, vertex)``
+and can be cached across queries without changing a single answer.  This is
+the same observation the space-efficient-LCA line of work exploits to reuse
+previously computed per-vertex state.
+
+The probe-accounting contract
+-----------------------------
+
+Probe complexity is the paper's *model* cost, not a wall-clock cost.  The
+cached fast path therefore preserves accounting exactly:
+
+* every query is charged the probes of the **cold-cache probe schedule** —
+  the sequence of ``Degree`` / ``Neighbor`` / ``Adjacency`` probes the
+  algorithm would have made with an empty cache — even when the answer is
+  served from memoized state;
+* charges are recorded per probe kind, so per-kind breakdowns (Tables 4–5)
+  match the cold path, not just totals;
+* only the wall-clock work is elided: memoized values are returned from
+  dictionaries and the corresponding probes are recorded in bulk.
+
+Concretely, :meth:`~repro.core.oracle.CachedOracle.memoized` measures the
+probes charged while computing a value on the first (miss) execution and
+replays exactly that per-kind probe delta on every later hit.  Because a
+memoized computation's probe cost is itself a pure function of
+``(graph, seed, key)``, the replayed cost equals the cold cost, and an
+equivalence test (``tests/test_backend_equivalence.py``) enforces identical
+per-query probe totals between the cold and cached paths.
+
+One observable difference is *budget* enforcement granularity: a
+:class:`~repro.core.probes.ProbeCounter` budget still trips on the same
+query, but bulk recording may overshoot the budget by the size of the last
+bulk charge instead of stopping at exactly ``budget + 1`` probes.  Budgeted
+counters (the lower-bound experiments) use the cold path.
+
+:class:`OracleCache` is the storage: per-vertex read caches for the three
+probe primitives plus named memo tables for derived per-vertex state.  It is
+owned by a :class:`~repro.core.oracle.CachedOracle` and lives as long as its
+LCA, so state is reused across queries *and* across materializations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from ..graphs.graph import Graph, Vertex
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for memoized derived state (reporting only)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
+
+class OracleCache:
+    """Memo tables and raw-read facade backing a ``CachedOracle``.
+
+    All accessors are **probe-free**: they read the graph directly and never
+    touch a probe counter.  Charging the model cost is the caller's job (see
+    the module docstring for the contract).
+
+    Raw reads (neighbor rows, degrees, adjacency rows) delegate to the lazy
+    structures the graph backends already maintain — cached neighbor views
+    and per-vertex ``adjacency_row`` dicts — so the adjacency data exists in
+    exactly one place per graph; this object only owns the memo tables for
+    *derived* per-LCA state.
+    """
+
+    __slots__ = ("graph", "stats", "_memos")
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.stats = CacheStats()
+        self._memos: Dict[Hashable, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Raw reads (probe-free; served by the graph's own lazy caches)
+    # ------------------------------------------------------------------ #
+    def degree(self, v: Vertex) -> int:
+        # Both backends answer degree in O(1) without materializing the
+        # neighbor view (len of the adjacency list / indptr difference).
+        return self.graph.degree(v)
+
+    def neighbors(self, v: Vertex) -> Tuple[Vertex, ...]:
+        return self.graph.neighbors(v)
+
+    def index_row(self, v: Vertex) -> Dict[Vertex, int]:
+        """The ``{neighbor: position}`` row of ``v`` (read-only)."""
+        return self.graph.adjacency_row(v)
+
+    # ------------------------------------------------------------------ #
+    # Memo tables for derived per-vertex state
+    # ------------------------------------------------------------------ #
+    def memo(self, namespace: Hashable) -> dict:
+        """A named memo table (created on first use).
+
+        Callers use ``(system_object, role)`` tuples as namespaces so that
+        distinct center systems / samplers (distinct seeds) never share
+        entries.  Keeping the object itself in the key also pins it alive,
+        ruling out ``id()`` reuse bugs.
+        """
+        table = self._memos.get(namespace)
+        if table is None:
+            table = {}
+            self._memos[namespace] = table
+        return table
+
+    def memo_sizes(self) -> Dict[str, int]:
+        """Entry counts per memo namespace (debugging / reporting)."""
+        return {repr(namespace): len(table) for namespace, table in self._memos.items()}
+
+    def clear(self) -> None:
+        """Drop all memoized state (answers are unaffected; only speed is)."""
+        self._memos.clear()

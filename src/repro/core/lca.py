@@ -30,12 +30,26 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .errors import NotAnEdgeError
 from .ids import canonical_edge
-from .oracle import AdjacencyListOracle
+from .oracle import AdjacencyListOracle, CachedOracle
 from .probes import ProbeCounter, ProbeSnapshot, ProbeStatistics
 from .seed import Seed, SeedLike
 from ..graphs.graph import Graph
 
 Edge = Tuple[int, int]
+
+#: Query-engine modes.  ``cold`` answers every query from scratch (the
+#: reference probe schedule); ``cached`` serves repeated per-vertex state from
+#: a cross-query memo while charging the cold schedule; ``batched`` applies
+#: only to :meth:`SpannerLCA.materialize` and additionally streams decisions
+#: without per-query result objects.  All three produce identical answers and
+#: identical per-query probe totals (see :mod:`repro.core.cache`).
+QUERY_MODES = ("cold", "cached", "batched")
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in QUERY_MODES:
+        raise ValueError(f"unknown query mode {mode!r}; choices: {QUERY_MODES}")
+    return mode
 
 
 @dataclass
@@ -87,6 +101,8 @@ class SpannerLCA(abc.ABC):
         self._seed = Seed.of(seed)
         self._counter = ProbeCounter()
         self._oracle = AdjacencyListOracle(graph, self._counter)
+        self._cached_oracle: Optional[CachedOracle] = None
+        self._query_mode = "cold"
         self.probe_stats = ProbeStatistics()
 
     # ------------------------------------------------------------------ #
@@ -111,16 +127,45 @@ class SpannerLCA(abc.ABC):
     def seed(self) -> Seed:
         return self._seed
 
+    @property
+    def query_mode(self) -> str:
+        """The active query-engine mode ("cold", "cached" or "batched")."""
+        return self._query_mode
+
+    def set_query_mode(self, mode: str) -> "SpannerLCA":
+        """Select the query engine used by :meth:`query` / :meth:`materialize`.
+
+        Answers and per-query probe accounting are identical in every mode;
+        only wall-clock speed changes.  "batched" affects materialization
+        only — individual queries then run through the cached engine.
+        Returns ``self`` for chaining.
+        """
+        self._query_mode = _check_mode(mode)
+        return self
+
+    def _oracle_for(self, mode: str) -> AdjacencyListOracle:
+        if mode == "cold":
+            return self._oracle
+        if self._cached_oracle is None:
+            self._cached_oracle = CachedOracle(self._graph, self._counter)
+        return self._cached_oracle
+
     def query(self, u: int, v: int) -> bool:
         """Answer "is ``(u, v)`` in the spanner?" for an edge of ``G``."""
         return self.query_with_stats(u, v).in_spanner
 
     def query_with_stats(self, u: int, v: int) -> EdgeQueryResult:
         """Answer a query and report the probes it used."""
+        mode = "cold" if self._query_mode == "cold" else "cached"
+        return self._query_once(self._oracle_for(mode), u, v)
+
+    def _query_once(
+        self, oracle: AdjacencyListOracle, u: int, v: int
+    ) -> EdgeQueryResult:
         if not self._graph.has_edge(u, v):
             raise NotAnEdgeError(u, v)
         with self._counter.measure() as measurement:
-            answer = bool(self._decide(self._oracle, u, v))
+            answer = bool(self._decide(oracle, u, v))
         self.probe_stats.add(measurement.total)
         return EdgeQueryResult(
             edge=canonical_edge(u, v), in_spanner=answer, probes=measurement.used
@@ -130,7 +175,7 @@ class SpannerLCA(abc.ABC):
     # Global materialization (verification bridge)
     # ------------------------------------------------------------------ #
     def materialize(
-        self, edges: Optional[Iterable[Edge]] = None
+        self, edges: Optional[Iterable[Edge]] = None, mode: Optional[str] = None
     ) -> MaterializedSpanner:
         """Query every edge (or the given subset) and collect the spanner.
 
@@ -138,17 +183,62 @@ class SpannerLCA(abc.ABC):
         unique spanner ... we never construct the full, global spanner at any
         point"; this method exists purely so that tests and benchmarks can
         check the global object that the local answers are consistent with.
+
+        ``mode`` overrides the LCA's query mode for this materialization:
+        "cold" (per-query, from scratch), "cached" (per-query, cross-query
+        memo) or "batched" (the streaming engine of
+        :meth:`_materialize_batched`).  Edges, per-query probe totals and
+        per-kind probe counts are identical across modes.
         """
+        mode = _check_mode(self._query_mode if mode is None else mode)
         result = MaterializedSpanner(
             algorithm=self.name, stretch_bound=self.stretch_bound(), edges=set()
         )
         edge_iter = self._graph.edges() if edges is None else edges
+        if mode == "batched":
+            self._materialize_batched(edge_iter, result, validate=edges is not None)
+            return result
+        oracle = self._oracle_for(mode)
         for (u, v) in edge_iter:
-            outcome = self.query_with_stats(u, v)
+            outcome = self._query_once(oracle, u, v)
             result.probe_stats.add(outcome.probe_total)
             if outcome.in_spanner:
                 result.edges.add(outcome.edge)
         return result
+
+    def _materialize_batched(
+        self, edge_iter: Iterable[Edge], result: MaterializedSpanner, validate: bool
+    ) -> None:
+        """The batched materialization engine.
+
+        Streams every query through :meth:`_decide` against the shared cached
+        oracle without building per-query :class:`EdgeQueryResult` objects.
+        Queries arrive grouped by their first endpoint (``Graph.edges`` walks
+        the adjacency structure), so consecutive queries share scanner-side
+        per-vertex state and the memo layer turns the quadratic re-derivation
+        of center sets into one computation per vertex.  Per-query probe
+        totals still follow the cold-cache schedule (see
+        :mod:`repro.core.cache`) and are collected in ``result.probe_stats``.
+        """
+        oracle = self._oracle_for("cached")
+        counter = self._counter
+        decide = self._decide
+        has_edge = self._graph.has_edge
+        keep = result.edges
+        totals = result.probe_stats.query_totals
+        own_totals = self.probe_stats.query_totals
+        before = counter.total
+        for (u, v) in edge_iter:
+            if validate and not has_edge(u, v):
+                raise NotAnEdgeError(u, v)
+            answer = decide(oracle, u, v)
+            after = counter.total
+            used = after - before
+            before = after
+            totals.append(used)
+            own_totals.append(used)
+            if answer:
+                keep.add(canonical_edge(u, v))
 
     # ------------------------------------------------------------------ #
     # Helpers for subclasses

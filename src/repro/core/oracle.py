@@ -18,9 +18,10 @@ indices ``0 .. t-1`` here.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Hashable, List, Optional, Sequence
 
-from .probes import ADJACENCY, DEGREE, NEIGHBOR, ProbeCounter
+from .cache import OracleCache
+from .probes import ADJACENCY, DEGREE, NEIGHBOR, ProbeCounter, ProbeSnapshot
 from ..graphs.graph import Graph, Vertex
 
 
@@ -34,6 +35,11 @@ class AdjacencyListOracle:
     counter:
         Probe counter; a fresh one is created when omitted.
     """
+
+    #: Whether this oracle supports cross-query memoization (``CachedOracle``
+    #: sets this to ``True``; algorithm code may branch on it to pick a
+    #: memoized fast path with identical probe accounting).
+    supports_memo = False
 
     def __init__(self, graph: Graph, counter: Optional[ProbeCounter] = None) -> None:
         self._graph = graph
@@ -124,6 +130,131 @@ class AdjacencyListOracle:
         must not touch it (doing so would bypass probe accounting).
         """
         return self._graph
+
+
+class CachedOracle(AdjacencyListOracle):
+    """Probe oracle with cross-query memoization and cold-schedule accounting.
+
+    Drop-in replacement for :class:`AdjacencyListOracle`: every probe (and
+    every convenience helper) records **exactly** the probes the cold oracle
+    would record — per kind, per query — while the data itself is served from
+    an :class:`~repro.core.cache.OracleCache`.  See :mod:`repro.core.cache`
+    for the full accounting contract.
+
+    The cache is owned by the oracle (or shared, when passed in) and persists
+    across queries, which is what makes repeated materializations and batched
+    query engines fast.
+    """
+
+    supports_memo = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        counter: Optional[ProbeCounter] = None,
+        cache: Optional[OracleCache] = None,
+    ) -> None:
+        super().__init__(graph, counter)
+        if cache is not None and cache.graph is not graph:
+            raise ValueError("cache was built for a different graph")
+        self.cache = cache if cache is not None else OracleCache(graph)
+
+    # ------------------------------------------------------------------ #
+    # Probe primitives (identical charging, cached reads)
+    # ------------------------------------------------------------------ #
+    def degree(self, v: Vertex) -> int:
+        self.counter.record(DEGREE)
+        return self.cache.degree(v)
+
+    def neighbor(self, v: Vertex, index: int) -> Optional[Vertex]:
+        self.counter.record(NEIGHBOR)
+        row = self.cache.neighbors(v)
+        if 0 <= index < len(row):
+            return row[index]
+        return None
+
+    def adjacency(self, u: Vertex, v: Vertex) -> Optional[int]:
+        self.counter.record(ADJACENCY)
+        return self.cache.index_row(u).get(int(v))
+
+    # ------------------------------------------------------------------ #
+    # Bulk-charged helpers (same totals as the cold per-probe loops)
+    # ------------------------------------------------------------------ #
+    def neighbors_prefix(self, v: Vertex, count: int) -> List[Vertex]:
+        row = self.cache.neighbors(v)
+        limit = min(int(count), len(row))
+        self.counter.record(DEGREE)
+        if limit:
+            self.counter.record(NEIGHBOR, limit)
+        return list(row[:limit])
+
+    def neighbors_block(self, v: Vertex, block_size: int, block_index: int) -> List[Vertex]:
+        row = self.cache.neighbors(v)
+        deg = len(row)
+        self.counter.record(DEGREE)
+        start = block_index * block_size
+        stop = min(start + block_size, deg)
+        if start >= deg:
+            return []
+        if stop > start:
+            self.counter.record(NEIGHBOR, stop - start)
+        # Out-of-range (negative) indices answer ⊥ exactly like the cold
+        # per-probe loop, probes included.
+        return [row[i] if i >= 0 else None for i in range(start, stop)]
+
+    def all_neighbors(self, v: Vertex) -> List[Vertex]:
+        row = self.cache.neighbors(v)
+        self.counter.record(DEGREE)
+        if row:
+            self.counter.record(NEIGHBOR, len(row))
+        return list(row)
+
+    # ------------------------------------------------------------------ #
+    # Memoization of derived pure state
+    # ------------------------------------------------------------------ #
+    def memo(self, namespace: Hashable) -> dict:
+        """A named memo table on the underlying cache."""
+        return self.cache.memo(namespace)
+
+    def charge(self, neighbor: int = 0, degree: int = 0, adjacency: int = 0) -> None:
+        """Record probes in bulk (the cold schedule of a memoized value)."""
+        counter = self.counter
+        if degree:
+            counter.record(DEGREE, degree)
+        if neighbor:
+            counter.record(NEIGHBOR, neighbor)
+        if adjacency:
+            counter.record(ADJACENCY, adjacency)
+
+    def replay(self, cost: ProbeSnapshot) -> None:
+        """Re-charge a previously measured per-kind probe cost."""
+        self.charge(
+            neighbor=cost.neighbor, degree=cost.degree, adjacency=cost.adjacency
+        )
+
+    def memoized(self, namespace: Hashable, key: Hashable, compute):
+        """Memoize ``compute()`` and replay its probe cost on every hit.
+
+        On a miss, ``compute()`` runs against this oracle (so it charges its
+        own cold-schedule probes) and the measured per-kind probe delta is
+        stored next to the value; on a hit, exactly that delta is replayed.
+        ``compute`` must be a pure function of ``(graph, seed, key)`` whose
+        probe cost does not depend on cache state — true for every derived
+        quantity in this library, and checked end-to-end by the equivalence
+        tests.
+        """
+        table = self.cache.memo(namespace)
+        hit = table.get(key)
+        if hit is not None:
+            value, cost = hit
+            self.cache.stats.hits += 1
+            self.replay(cost)
+            return value
+        self.cache.stats.misses += 1
+        before = self.counter.snapshot()
+        value = compute()
+        table[key] = (value, self.counter.snapshot() - before)
+        return value
 
 
 class SubgraphOracle(AdjacencyListOracle):

@@ -10,6 +10,7 @@ individual sub-routines (used to reproduce Tables 4 and 5).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 from contextlib import contextmanager
@@ -165,13 +166,24 @@ class ProbeStatistics:
         return sum(self.query_totals)
 
     def percentile(self, q: float) -> int:
-        """Return the ``q``-th percentile (0 <= q <= 100) of per-query probes."""
+        """Return the ``q``-th percentile (0 <= q <= 100) of per-query probes.
+
+        Uses explicit floor-based nearest-rank selection
+        (``⌊q/100 · (N-1) + 1/2⌋``): half-way ranks always round up, unlike
+        ``round()`` whose banker's rounding rounds ties to the nearest even
+        rank and can pick the rank *below* the midpoint.
+        """
         if not self.query_totals:
             return 0
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be between 0 and 100")
         ordered = sorted(self.query_totals)
-        idx = int(round((q / 100.0) * (len(ordered) - 1)))
+        # Multiply before dividing — (q/100) * (N-1) loses the tie rank to
+        # representation error (e.g. (58/100)*25 = 14.499999999999998 would
+        # floor to 14, not 15) — then quantize away the remaining sub-1e-9
+        # float noise so decimal q values (64.6, ...) hit their exact rank.
+        rank = round(q * (len(ordered) - 1) / 100.0, 9)
+        idx = int(math.floor(rank + 0.5))
         return ordered[idx]
 
     def as_dict(self) -> Dict[str, float]:

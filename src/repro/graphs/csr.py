@@ -1,0 +1,173 @@
+"""Compressed-sparse-row (CSR) graph storage.
+
+:class:`CSRGraph` stores every neighbor list in one flat ``array`` of vertex
+ids behind an offset-pointer array (``indptr``), the classic CSR layout:
+
+* ``indptr[p] .. indptr[p+1]`` delimit the neighbor row of the vertex at
+  position ``p`` (positions follow insertion order of the adjacency mapping),
+* ``indices[indptr[p] + i]`` is the ``i``-th neighbor, in exactly the same
+  fixed order the dict backend would expose.
+
+Because the LCA model only ever reads ``Degree``, ``Neighbor`` and
+``Adjacency`` probes, the two backends are observationally identical: same
+degrees, same neighbor orderings, same adjacency indices.  The equivalence
+test suite (``tests/test_backend_equivalence.py``) asserts this down to
+per-query probe totals.
+
+The ``Adjacency``-probe index (a per-vertex ``{neighbor: position}`` dict) is
+built lazily, one row at a time, on first use — generators and BFS never pay
+for it, and materialization only pays for the rows it actually probes.
+
+Vertices are arbitrary integers (ids need not form ``0..n-1``); an id → row
+position map translates between the two.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.errors import UnknownVertexError
+from .graph import (
+    Edge,
+    Graph,
+    Vertex,
+    undeclared_neighbor_error,
+    validate_adjacency,
+)
+
+
+class CSRGraph(Graph):
+    """CSR-backed graph with the same interface and semantics as :class:`Graph`."""
+
+    __slots__ = ("_ids", "_pos", "_indptr", "_indices", "_rows")
+
+    backend = "csr"
+
+    def __init__(
+        self,
+        adjacency: Mapping[Vertex, Sequence[Vertex]],
+        validate: bool = True,
+    ) -> None:
+        ids: List[Vertex] = []
+        pos: Dict[Vertex, int] = {}
+        for v in adjacency:
+            v = int(v)
+            if v not in pos:
+                pos[v] = len(ids)
+                ids.append(v)
+        try:
+            indices = array("q")
+            indptr = array("q", [0])
+            offset = 0
+            for v in ids:
+                row = adjacency[v]
+                indices.extend(int(w) for w in row)
+                offset += len(row)
+                indptr.append(offset)
+        except OverflowError:
+            # Vertex ids beyond 64 bits: fall back to a plain flat list.
+            indices = []  # type: ignore[assignment]
+            indptr = array("q", [0])
+            offset = 0
+            for v in ids:
+                row = [int(w) for w in adjacency[v]]
+                indices.extend(row)
+                offset += len(row)
+                indptr.append(offset)
+        error = undeclared_neighbor_error(adjacency, pos)
+        if error is not None:
+            raise error
+        if validate:
+            validate_adjacency({v: list(adjacency[v]) for v in adjacency})
+        self._ids = ids
+        self._pos = pos
+        self._indptr = indptr
+        self._indices = indices
+        # Lazy per-vertex {neighbor: position} rows for Adjacency probes.
+        self._rows: Dict[int, Dict[Vertex, int]] = {}
+        self._views = {}
+        self._num_edges = len(indices) // 2
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Convert any backend to CSR, preserving neighbor orderings."""
+        return graph.to_backend("csr")  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self._ids)
+
+    def vertices(self) -> List[Vertex]:
+        return list(self._ids)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return int(v) in self._pos
+
+    def edges(self) -> Iterator[Edge]:
+        indptr, indices = self._indptr, self._indices
+        for p, u in enumerate(self._ids):
+            for k in range(indptr[p], indptr[p + 1]):
+                v = indices[k]
+                if u < v:
+                    yield (u, v)
+
+    def degree(self, v: Vertex) -> int:
+        p = self._position(v)
+        return self._indptr[p + 1] - self._indptr[p]
+
+    def neighbor_at(self, v: Vertex, index: int) -> Optional[Vertex]:
+        p = self._position(v)
+        start = self._indptr[p]
+        if 0 <= index < self._indptr[p + 1] - start:
+            return self._indices[start + index]
+        return None
+
+    def adjacency_index(self, u: Vertex, v: Vertex) -> Optional[int]:
+        return self.adjacency_row(u).get(int(v))
+
+    def adjacency_row(self, v: Vertex) -> Dict[Vertex, int]:
+        v = int(v)
+        row = self._rows.get(v)
+        if row is None:
+            p = self._position(v)
+            start = self._indptr[p]
+            row = {
+                w: i
+                for i, w in enumerate(self._indices[start : self._indptr[p + 1]])
+            }
+            self._rows[v] = row
+        return row
+
+    def max_degree(self) -> int:
+        indptr = self._indptr
+        if len(indptr) < 2:
+            return 0
+        return max(indptr[p + 1] - indptr[p] for p in range(len(indptr) - 1))
+
+    def min_degree(self) -> int:
+        indptr = self._indptr
+        if len(indptr) < 2:
+            return 0
+        return min(indptr[p + 1] - indptr[p] for p in range(len(indptr) - 1))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _position(self, v: Vertex) -> int:
+        try:
+            return self._pos[int(v)]
+        except KeyError:
+            raise UnknownVertexError(v) from None
+
+    def _neighbors_of(self, v: Vertex) -> Sequence[Vertex]:
+        # Raw row slice; the inherited Graph.neighbors() turns it into the
+        # cached immutable view, keeping the view-memo logic in one place.
+        p = self._position(v)
+        return self._indices[self._indptr[p] : self._indptr[p + 1]]
+
+    def _validate(self) -> None:  # pragma: no cover - validation runs in __init__
+        validate_adjacency(self.as_adjacency())

@@ -3,15 +3,28 @@
 The LCA model (Section 1.4 of the paper) assumes the input graph is presented
 through an adjacency-list oracle in which *each neighbor set has a fixed, but
 arbitrary, ordering*.  :class:`Graph` stores exactly this representation: for
-every vertex a list of neighbors in a fixed order, together with an index
-structure giving O(1) ``Adjacency`` probes (the probe returns the position of
-``v`` inside ``Γ(u)``).
+every vertex a list of neighbors in a fixed order, together with a lazily
+built index structure giving O(1) ``Adjacency`` probes (the probe returns the
+position of ``v`` inside ``Γ(u)``).
+
+Two storage backends implement the same interface:
+
+* :class:`Graph` — the original dict-of-lists backend (this module), and
+* :class:`~repro.graphs.csr.CSRGraph` — a compressed-sparse-row backend
+  storing all neighbor lists in one flat array behind offset pointers.
+
+``Graph.from_edges(..., backend="csr")`` (or the module-level default set via
+:func:`set_default_backend` / the ``REPRO_GRAPH_BACKEND`` environment
+variable) selects the backend; :meth:`Graph.to_backend` converts between them
+while preserving neighbor orderings exactly, so probe-level behavior is
+backend independent.
 
 Vertices are arbitrary integers; they need not form ``0..n-1``.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -20,6 +33,88 @@ from ..core.ids import canonical_edge
 
 Vertex = int
 Edge = Tuple[int, int]
+
+#: Known storage backends, by name (values resolved lazily to avoid cycles).
+BACKENDS = ("dict", "csr")
+
+
+def _backend_from_environment() -> str:
+    name = os.environ.get("REPRO_GRAPH_BACKEND", "dict")
+    if name not in BACKENDS:
+        import warnings
+
+        warnings.warn(
+            f"REPRO_GRAPH_BACKEND={name!r} is not a known graph backend "
+            f"(choices: {BACKENDS}); falling back to 'dict'",
+            stacklevel=2,
+        )
+        return "dict"
+    return name
+
+
+_default_backend = _backend_from_environment()
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default storage backend ("dict" or "csr")."""
+    global _default_backend
+    if name not in BACKENDS:
+        raise GraphError(f"unknown graph backend {name!r}; choices: {BACKENDS}")
+    _default_backend = name
+
+
+def default_backend() -> str:
+    """The current default storage backend name."""
+    return _default_backend
+
+
+def backend_class(name: Optional[str] = None):
+    """Resolve a backend name to its graph class."""
+    if name is None:
+        name = _default_backend
+    if name == "dict":
+        return Graph
+    if name == "csr":
+        from .csr import CSRGraph
+
+        return CSRGraph
+    raise GraphError(f"unknown graph backend {name!r}; choices: {BACKENDS}")
+
+
+def undeclared_neighbor_error(
+    adjacency: Mapping[Vertex, Sequence[Vertex]], known: Mapping[Vertex, object]
+) -> Optional[GraphError]:
+    """The error for a neighbor that has no adjacency list of its own.
+
+    Scans ``adjacency`` for the first neighbor outside ``known`` — a mapping
+    keyed by normalized (int) vertex ids, giving O(1) membership — and
+    returns the error to raise (``None`` when the mapping is closed).  Shared
+    by both storage backends so the check and its message have one source of
+    truth.
+    """
+    for v, neighbors in adjacency.items():
+        for w in neighbors:
+            if int(w) not in known:
+                return GraphError(
+                    f"vertex {int(w)} appears as a neighbor of {int(v)} but "
+                    "has no adjacency list of its own"
+                )
+    return None
+
+
+def validate_adjacency(adjacency: Mapping[Vertex, Sequence[Vertex]]) -> None:
+    """Check an adjacency mapping for simplicity and symmetry."""
+    for v, neighbors in adjacency.items():
+        if len(set(neighbors)) != len(neighbors):
+            raise GraphError(f"vertex {v} has repeated neighbors")
+        if v in neighbors:
+            raise GraphError(f"vertex {v} has a self loop")
+    for v, neighbors in adjacency.items():
+        for w in neighbors:
+            if v not in adjacency[w]:
+                raise GraphError(
+                    f"adjacency is not symmetric: {w} missing neighbor {v}"
+                )
 
 
 class Graph:
@@ -38,7 +133,10 @@ class Graph:
         structures by design may pass ``False`` to skip the O(m) check.
     """
 
-    __slots__ = ("_adj", "_index", "_num_edges")
+    __slots__ = ("_adj", "_index", "_views", "_num_edges")
+
+    #: Name of the storage backend implemented by this class.
+    backend = "dict"
 
     def __init__(
         self,
@@ -49,39 +147,27 @@ class Graph:
             int(v): [int(w) for w in neighbors] for v, neighbors in adjacency.items()
         }
         # Make sure every endpoint appears as a key even if isolated on one side.
-        for v, neighbors in list(self._adj.items()):
-            for w in neighbors:
-                if w not in self._adj:
-                    raise GraphError(
-                        f"vertex {w} appears as a neighbor of {v} but has no "
-                        "adjacency list of its own"
-                    )
+        error = undeclared_neighbor_error(self._adj, self._adj)
+        if error is not None:
+            raise error
         if validate:
             self._validate()
-        self._index: Dict[Vertex, Dict[Vertex, int]] = {
-            v: {w: i for i, w in enumerate(neighbors)}
-            for v, neighbors in self._adj.items()
-        }
+        # The Adjacency-probe index is O(m) dicts; generators and BFS never
+        # need it, so it is built lazily on the first adjacency_index call.
+        self._index: Optional[Dict[Vertex, Dict[Vertex, int]]] = None
+        # Cached immutable neighbor views handed out by neighbors().
+        self._views: Dict[Vertex, Tuple[Vertex, ...]] = {}
         self._num_edges = sum(len(neighbors) for neighbors in self._adj.values()) // 2
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
-    @classmethod
-    def from_edges(
-        cls,
+    @staticmethod
+    def _adjacency_from_edges(
         edges: Iterable[Tuple[Vertex, Vertex]],
         vertices: Optional[Iterable[Vertex]] = None,
         shuffle_seed: Optional[int] = None,
-    ) -> "Graph":
-        """Build a graph from an iterable of undirected edges.
-
-        Neighbor lists are ordered by edge-insertion order, which is
-        "arbitrary but fixed" exactly as the model requires.  Passing
-        ``shuffle_seed`` randomly permutes every neighbor list (deterministic
-        in the seed), which is useful for testing that algorithms do not rely
-        on any particular ordering.
-        """
+    ) -> Dict[Vertex, List[Vertex]]:
         adjacency: Dict[Vertex, List[Vertex]] = {}
         if vertices is not None:
             for v in vertices:
@@ -101,7 +187,34 @@ class Graph:
             rng = random.Random(shuffle_seed)
             for v in adjacency:
                 rng.shuffle(adjacency[v])
-        return cls(adjacency, validate=False)
+        return adjacency
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        vertices: Optional[Iterable[Vertex]] = None,
+        shuffle_seed: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of undirected edges.
+
+        Neighbor lists are ordered by edge-insertion order, which is
+        "arbitrary but fixed" exactly as the model requires.  Passing
+        ``shuffle_seed`` randomly permutes every neighbor list (deterministic
+        in the seed), which is useful for testing that algorithms do not rely
+        on any particular ordering.  ``backend`` selects the storage class
+        ("dict" or "csr"); when omitted, a subclass builds itself and the
+        base class builds the process-wide default backend.
+        """
+        adjacency = cls._adjacency_from_edges(edges, vertices, shuffle_seed)
+        if backend is not None:
+            target = backend_class(backend)
+        elif cls is Graph:
+            target = backend_class(None)
+        else:
+            target = cls
+        return target(adjacency, validate=False)
 
     @classmethod
     def from_networkx(cls, nx_graph, shuffle_seed: Optional[int] = None) -> "Graph":
@@ -123,6 +236,22 @@ class Graph:
         nx_graph.add_nodes_from(self.vertices())
         nx_graph.add_edges_from(self.edges())
         return nx_graph
+
+    def as_adjacency(self) -> Dict[Vertex, List[Vertex]]:
+        """The adjacency mapping with neighbor orderings preserved."""
+        return {v: list(self.neighbors(v)) for v in self.vertices()}
+
+    def to_backend(self, name: str) -> "Graph":
+        """Convert to another storage backend, preserving neighbor orderings.
+
+        Returns ``self`` when the graph already uses the requested backend;
+        probe-visible behavior (orderings, indices, degrees) is identical
+        across backends.
+        """
+        target = backend_class(name)
+        if type(self) is target:
+            return self
+        return target(self.as_adjacency(), validate=False)
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -155,9 +284,19 @@ class Graph:
         """Degree of ``v``."""
         return len(self._neighbors_of(v))
 
-    def neighbors(self, v: Vertex) -> Sequence[Vertex]:
-        """The fixed, ordered neighbor list Γ(v)."""
-        return tuple(self._neighbors_of(v))
+    def neighbors(self, v: Vertex) -> Tuple[Vertex, ...]:
+        """The fixed, ordered neighbor list Γ(v) as a cached immutable view.
+
+        The same tuple object is returned on every call (the list is hot in
+        BFS and verification paths), so callers must not rely on getting a
+        private copy — the view is immutable by construction.
+        """
+        v = int(v)
+        view = self._views.get(v)
+        if view is None:
+            view = tuple(self._neighbors_of(v))
+            self._views[v] = view
+        return view
 
     def neighbor_at(self, v: Vertex, index: int) -> Optional[Vertex]:
         """The ``index``-th neighbor of ``v`` (0-based), or ``None``."""
@@ -168,9 +307,22 @@ class Graph:
 
     def adjacency_index(self, u: Vertex, v: Vertex) -> Optional[int]:
         """Position of ``v`` inside Γ(u) (0-based), or ``None`` if not adjacent."""
-        if int(u) not in self._index:
-            raise UnknownVertexError(u)
-        return self._index[int(u)].get(int(v))
+        return self.adjacency_row(u).get(int(v))
+
+    def adjacency_row(self, v: Vertex) -> Mapping[Vertex, int]:
+        """The ``{neighbor: position}`` row of ``v`` (lazily built).
+
+        The returned mapping is shared internal state — callers must treat
+        it as read-only.  It backs both ``Adjacency`` probes and the cached
+        oracle, so the index exists in exactly one place per graph.
+        """
+        index = self._index
+        if index is None:
+            index = self._build_index()
+        row = index.get(int(v))
+        if row is None:
+            raise UnknownVertexError(v)
+        return row
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         return self.adjacency_index(u, v) is not None
@@ -189,9 +341,10 @@ class Graph:
 
     def average_degree(self) -> float:
         """Average degree 2m / n."""
-        if not self._adj:
+        n = self.num_vertices
+        if not n:
             return 0.0
-        return 2.0 * self._num_edges / len(self._adj)
+        return 2.0 * self._num_edges / n
 
     def edge_list(self) -> List[Edge]:
         """All undirected edges as a list of canonical tuples."""
@@ -204,15 +357,17 @@ class Graph:
         return self.num_vertices
 
     def __repr__(self) -> str:
-        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+        return f"{type(self).__name__}(n={self.num_vertices}, m={self.num_edges})"
 
     # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
     def subgraph_with_edges(self, edges: Iterable[Edge]) -> "Graph":
         """Return the spanning subgraph containing all vertices of this graph
-        and only the given edges (each of which must exist in this graph)."""
-        adjacency: Dict[Vertex, List[Vertex]] = {v: [] for v in self._adj}
+        and only the given edges (each of which must exist in this graph).
+
+        The subgraph uses the same storage backend as its host."""
+        adjacency: Dict[Vertex, List[Vertex]] = {v: [] for v in self.vertices()}
         seen = set()
         for (u, v) in edges:
             u, v = int(u), int(v)
@@ -224,15 +379,19 @@ class Graph:
             seen.add(key)
             adjacency[u].append(v)
             adjacency[v].append(u)
-        return Graph(adjacency, validate=False)
+        return type(self)(adjacency, validate=False)
 
     def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
-        """Return the subgraph induced by the given vertex set."""
+        """Return the subgraph induced by the given vertex set.
+
+        The subgraph uses the same storage backend as its host."""
         keep = {int(v) for v in vertices}
         adjacency = {
-            v: [w for w in self._adj[v] if w in keep] for v in self._adj if v in keep
+            v: [w for w in self.neighbors(v) if w in keep]
+            for v in self.vertices()
+            if v in keep
         }
-        return Graph(adjacency, validate=False)
+        return type(self)(adjacency, validate=False)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -243,15 +402,12 @@ class Graph:
         except KeyError:
             raise UnknownVertexError(v) from None
 
+    def _build_index(self) -> Dict[Vertex, Dict[Vertex, int]]:
+        self._index = {
+            v: {w: i for i, w in enumerate(neighbors)}
+            for v, neighbors in self._adj.items()
+        }
+        return self._index
+
     def _validate(self) -> None:
-        for v, neighbors in self._adj.items():
-            if len(set(neighbors)) != len(neighbors):
-                raise GraphError(f"vertex {v} has repeated neighbors")
-            if v in neighbors:
-                raise GraphError(f"vertex {v} has a self loop")
-        for v, neighbors in self._adj.items():
-            for w in neighbors:
-                if v not in self._adj[w]:
-                    raise GraphError(
-                        f"adjacency is not symmetric: {w} missing neighbor {v}"
-                    )
+        validate_adjacency(self._adj)

@@ -53,6 +53,45 @@ class PrefixCenterSystem:
         """Whether ``vertex ∈ S`` (no probes; Observation 2.3)."""
         return self.sampler.is_center(vertex)
 
+    def is_center_fast(self, oracle: AdjacencyListOracle, vertex: int) -> bool:
+        """``is_center`` with the hash evaluation memoized on a cached oracle.
+
+        The election status is a pure function of ``(seed, vertex)``; the
+        k-wise hash evaluation behind it dominates cold query time, so cached
+        oracles remember it per vertex.  Still probe-free.
+        """
+        if not oracle.supports_memo:
+            return self.sampler.is_center(vertex)
+        table = oracle.memo((self, "is-center"))
+        elected = table.get(vertex)
+        if elected is None:
+            elected = self.sampler.is_center(vertex)
+            table[vertex] = elected
+        return elected
+
+    def prefix_sets(
+        self, oracle: AdjacencyListOracle, vertex: int
+    ) -> "tuple[tuple, frozenset, int]":
+        """Memoized ``(ordered S(vertex), S(vertex) as a set, prefix length)``.
+
+        Probe-free: reads the neighbor row straight from the oracle cache.
+        Callers that expose a probe-counted operation must charge the cold
+        schedule themselves (``center_set`` charges 1 Degree + ``scanned``
+        Neighbor probes, a cluster-membership test charges 1 Adjacency).
+        Requires a cached oracle.
+        """
+        table = oracle.memo((self, "prefix-sets"))
+        hit = table.get(vertex)
+        if hit is None:
+            row = oracle.cache.neighbors(vertex)
+            scanned = min(len(row), self.prefix)
+            ordered = tuple(
+                w for w in row[:scanned] if self.is_center_fast(oracle, w)
+            )
+            hit = (ordered, frozenset(ordered), scanned)
+            table[vertex] = hit
+        return hit
+
     # ------------------------------------------------------------------ #
     # Probe-counted operations
     # ------------------------------------------------------------------ #
@@ -62,6 +101,10 @@ class PrefixCenterSystem:
         Costs one ``Degree`` probe plus ``min(deg, prefix)`` ``Neighbor``
         probes.
         """
+        if oracle.supports_memo:
+            ordered, _, scanned = self.prefix_sets(oracle, vertex)
+            oracle.charge(degree=1, neighbor=scanned)
+            return list(ordered)
         candidates = oracle.neighbors_prefix(vertex, self.prefix)
         return [w for w in candidates if self.is_center(w)]
 
@@ -74,7 +117,7 @@ class PrefixCenterSystem:
         ``prefix`` neighbors of ``member`` (Idea I).  The center's election
         status is checked without probes.
         """
-        if not self.is_center(center):
+        if not self.is_center_fast(oracle, center):
             return False
         index = oracle.adjacency(member, center)
         return index is not None and index < self.prefix

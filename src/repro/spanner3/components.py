@@ -31,6 +31,43 @@ from .centers import PrefixCenterSystem
 from .params import ThreeSpannerParams
 
 
+def _new_cluster_scan_fast(
+    oracle: AdjacencyListOracle,
+    centers: PrefixCenterSystem,
+    w: int,
+    x: int,
+    index: int,
+    start: int,
+) -> bool:
+    """The memoized new-cluster scan shared by H_high and H_super.
+
+    Evaluates "does ``x`` (at position ``index`` of Γ(w)) introduce a center
+    not covered by the neighbors at positions ``start .. index-1``?" on a
+    cached oracle, charging exactly the cold probe schedule: the
+    ``center_set(x)`` cost up front, then per scanned neighbor one
+    ``Neighbor`` probe plus one ``Adjacency`` probe per still-remaining
+    center (every remaining vertex is an elected center, so the cold
+    ``in_cluster_of`` filter always spends its ``Adjacency`` probe).  The
+    filter itself is a set difference against the memoized ``S(neighbor)``.
+    """
+    _, centers_of_x, scanned = centers.prefix_sets(oracle, x)
+    oracle.charge(degree=1, neighbor=scanned)
+    if not centers_of_x:
+        return False
+    remaining = set(centers_of_x)
+    row = oracle.cache.neighbors(w)
+    neighbor_probes = 0
+    adjacency_probes = 0
+    for j in range(start, index):
+        if not remaining:
+            break
+        neighbor_probes += 1
+        adjacency_probes += len(remaining)
+        remaining -= centers.prefix_sets(oracle, row[j])[1]
+    oracle.charge(neighbor=neighbor_probes, adjacency=adjacency_probes)
+    return bool(remaining)
+
+
 class LowDegreeComponent(SpannerLCA):
     """H_low: keep every edge incident to a vertex of degree ≤ threshold."""
 
@@ -100,6 +137,8 @@ class HighDegreeComponent(SpannerLCA):
 
     # The scanning rule, evaluated for scanner ``w`` and far endpoint ``x``.
     def _kept_by_scan(self, oracle: AdjacencyListOracle, w: int, x: int) -> bool:
+        if oracle.supports_memo:
+            return self._kept_by_scan_fast(oracle, w, x)
         degree_w = oracle.degree(w)
         if not self.params.is_high_degree(degree_w):
             return False
@@ -121,6 +160,16 @@ class HighDegreeComponent(SpannerLCA):
                 if not self.centers.in_cluster_of(oracle, earlier, s)
             }
         return bool(remaining)
+
+    def _kept_by_scan_fast(self, oracle: AdjacencyListOracle, w: int, x: int) -> bool:
+        """The scanning rule on a cached oracle (see _new_cluster_scan_fast)."""
+        degree_w = oracle.degree(w)
+        if not self.params.is_high_degree(degree_w):
+            return False
+        index = oracle.adjacency(w, x)
+        if index is None:
+            return False
+        return _new_cluster_scan_fast(oracle, self.centers, w, x, index, 0)
 
     def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
         return self._kept_by_scan(oracle, u, v) or self._kept_by_scan(oracle, v, u)
@@ -178,6 +227,8 @@ class SuperBlockComponent(SpannerLCA):
         return cls(graph, seed, threshold, centers)
 
     def _kept_by_scan(self, oracle: AdjacencyListOracle, w: int, x: int) -> bool:
+        if oracle.supports_memo:
+            return self._kept_by_scan_fast(oracle, w, x)
         index = oracle.adjacency(w, x)
         if index is None:
             return False
@@ -197,6 +248,17 @@ class SuperBlockComponent(SpannerLCA):
                 if not self.centers.in_cluster_of(oracle, earlier, s)
             }
         return bool(remaining)
+
+    def _kept_by_scan_fast(self, oracle: AdjacencyListOracle, w: int, x: int) -> bool:
+        """Block-restricted scan on a cached oracle: starts at the block
+        boundary instead of position 0 (see _new_cluster_scan_fast)."""
+        index = oracle.adjacency(w, x)
+        if index is None:
+            return False
+        block_start = (index // self.threshold) * self.threshold
+        return _new_cluster_scan_fast(
+            oracle, self.centers, w, x, index, block_start
+        )
 
     def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
         return self._kept_by_scan(oracle, u, v) or self._kept_by_scan(oracle, v, u)

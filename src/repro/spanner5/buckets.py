@@ -48,15 +48,66 @@ class DegreeBoundedCenterSystem:
 
     # -- probe-counted operations -------------------------------------- #
     def is_center(self, oracle: AdjacencyListOracle, vertex: int) -> bool:
-        """Whether ``vertex ∈ S`` (coin flip + one ``Degree`` probe)."""
+        """Whether ``vertex ∈ S`` (coin flip + one ``Degree`` probe).
+
+        The ``Degree`` probe is only spent when the coin flip succeeds, so
+        the cold probe cost is data dependent; the memoized fast path stores
+        the flip outcome next to the answer and replays exactly that cost.
+        """
+        if oracle.supports_memo:
+            elected, flipped = self._election(oracle, vertex)
+            if flipped:
+                oracle.charge(degree=1)
+            return elected
         if not self.sampler.is_center(vertex):
             return False
         return oracle.degree(vertex) <= self.degree_bound
 
+    def _election(self, oracle: AdjacencyListOracle, vertex: int):
+        """Memoized ``(elected, coin flip)`` pair (probe-free; cached oracle)."""
+        table = oracle.memo((self, "election"))
+        hit = table.get(vertex)
+        if hit is None:
+            flipped = self.sampler.is_center(vertex)
+            elected = flipped and oracle.cache.degree(vertex) <= self.degree_bound
+            hit = (elected, flipped)
+            table[vertex] = hit
+        return hit
+
     def center_set(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
         """``S(vertex)``: sampled bounded-degree vertices among the prefix."""
+        if oracle.supports_memo:
+            ordered, _, scanned, flips = self.prefix_sets(oracle, vertex)
+            oracle.charge(degree=1 + flips, neighbor=scanned)
+            return list(ordered)
         candidates = oracle.neighbors_prefix(vertex, self.prefix)
         return [w for w in candidates if self.is_center(oracle, w)]
+
+    def prefix_sets(self, oracle: AdjacencyListOracle, vertex: int):
+        """Memoized ``(ordered S(v), set, prefix length, #successful flips)``.
+
+        Probe-free (cached oracle only); ``center_set`` charges the cold
+        schedule — one ``Degree`` + ``scanned`` ``Neighbor`` probes for the
+        prefix, plus one ``Degree`` probe per candidate whose coin flip
+        succeeded (the degree-bound check of :meth:`is_center`).
+        """
+        table = oracle.memo((self, "prefix-sets"))
+        hit = table.get(vertex)
+        if hit is None:
+            row = oracle.cache.neighbors(vertex)
+            scanned = min(len(row), self.prefix)
+            ordered = []
+            flips = 0
+            for w in row[:scanned]:
+                elected, flipped = self._election(oracle, w)
+                if flipped:
+                    flips += 1
+                if elected:
+                    ordered.append(w)
+            ordered = tuple(ordered)
+            hit = (ordered, frozenset(ordered), scanned, flips)
+            table[vertex] = hit
+        return hit
 
     def in_cluster_of(
         self, oracle: AdjacencyListOracle, member: int, center: int
@@ -77,6 +128,22 @@ class DegreeBoundedCenterSystem:
         Costs ``deg(center)`` ``Neighbor`` probes plus one ``Adjacency`` probe
         per neighbor; the degree bound on centers caps this at ``Δ_super``.
         """
+        if oracle.supports_memo:
+            table = oracle.memo((self, "cluster-members"))
+            hit = table.get(center)
+            if hit is None:
+                cache = oracle.cache
+                row = cache.neighbors(center)
+                members = [center]
+                for w in row:
+                    index = cache.index_row(w).get(center)
+                    if index is not None and index < self.prefix:
+                        members.append(w)
+                hit = (tuple(members), len(row))
+                table[center] = hit
+            members, degree = hit
+            oracle.charge(degree=1, neighbor=degree, adjacency=degree)
+            return list(members)
         members = [center]
         for w in oracle.all_neighbors(center):
             index = oracle.adjacency(w, center)

@@ -50,6 +50,19 @@ class RepresentativeSystem:
             seed, params.representative_samples, params.independence
         )
 
+    def _sampled_indices(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
+        """``distinct_indices`` with the hash evaluations memoized (probe-free)."""
+        if not oracle.supports_memo:
+            return self._indices.distinct_indices(vertex, self.params.med_threshold)
+        table = oracle.memo((self, "indices"))
+        indices = table.get(vertex)
+        if indices is None:
+            indices = self._indices.distinct_indices(
+                vertex, self.params.med_threshold
+            )
+            table[vertex] = indices
+        return indices
+
     def representatives(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
         """``Reps(vertex)``: super-high-degree neighbors at sampled positions.
 
@@ -58,6 +71,15 @@ class RepresentativeSystem:
         degree simply contribute nothing (the vertex is then low degree and
         its edges are kept by E_low anyway).
         """
+        if oracle.supports_memo:
+            table = oracle.memo((self, "reps"))
+            hit = table.get(vertex)
+            if hit is None:
+                hit = self._representatives_raw(oracle, vertex)
+                table[vertex] = hit
+            found, valid, distinct = hit
+            oracle.charge(degree=1 + distinct, neighbor=valid)
+            return list(found)
         degree = oracle.degree(vertex)
         upper = min(self.params.med_threshold, degree)
         found: List[int] = []
@@ -72,6 +94,32 @@ class RepresentativeSystem:
             if oracle.degree(neighbor) > self.params.super_threshold:
                 found.append(neighbor)
         return found
+
+    def _representatives_raw(self, oracle: AdjacencyListOracle, vertex: int):
+        """Probe-free ``(Reps(v), #in-range indices, #distinct neighbors)``.
+
+        The cold schedule charges one ``Degree`` probe for ``v``, one
+        ``Neighbor`` probe per sampled in-range index, and one ``Degree``
+        probe per distinct neighbor seen — :meth:`representatives` replays
+        exactly that.
+        """
+        cache = oracle.cache
+        row = cache.neighbors(vertex)
+        upper = min(self.params.med_threshold, len(row))
+        found = []
+        seen = set()
+        valid = 0
+        for index in self._sampled_indices(oracle, vertex):
+            if index >= upper:
+                continue
+            valid += 1
+            neighbor = row[index]
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if cache.degree(neighbor) > self.params.super_threshold:
+                found.append(neighbor)
+        return (tuple(found), valid, len(seen))
 
     def reachable_centers(
         self, oracle: AdjacencyListOracle, vertex: int

@@ -1,0 +1,151 @@
+"""Backend / query-engine equivalence: the correctness anchor of the fast path.
+
+The CSR storage backend and the cached/batched query engines promise
+*observational equivalence* with the original dict backend and the cold
+per-query path: identical spanner edge sets and identical per-query probe
+accounting (totals and per-kind counts).  These tests pin that promise down
+for all three paper constructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.core.lca import QUERY_MODES
+from repro.core.oracle import AdjacencyListOracle, CachedOracle
+from repro.core.registry import create
+from repro.spannerk import KSquaredParams, KSquaredSpannerLCA
+
+
+def _spanner3(graph):
+    return create("spanner3", graph, seed=5, hitting_constant=1.0)
+
+
+def _spanner5(graph):
+    return create("spanner5", graph, seed=5, hitting_constant=1.0)
+
+
+def _spannerk(graph):
+    params = KSquaredParams(
+        num_vertices=graph.num_vertices,
+        stretch_parameter=2,
+        exploration_budget=6,
+        center_probability=0.3,
+        mark_probability=0.25,
+        rank_quota=20,
+        independence=12,
+    )
+    return KSquaredSpannerLCA(graph, seed=7, params=params)
+
+
+CASES = {
+    "spanner3": (_spanner3, lambda: graphs.gnp_graph(70, 0.25, seed=11)),
+    "spanner5": (
+        _spanner5,
+        lambda: graphs.dense_cluster_graph(80, 10, inter_probability=0.05, seed=5),
+    ),
+    "spannerk": (_spannerk, lambda: graphs.bounded_degree_expanderish(80, d=4, seed=3)),
+}
+
+
+def _materialize(factory, graph, mode):
+    lca = factory(graph)
+    materialized = lca.materialize(mode=mode)
+    return materialized.edges, list(materialized.probe_stats.query_totals)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_identical_edges_and_probes_across_backends_and_modes(name):
+    """Same seeds ⇒ same spanner and same per-query probe totals everywhere."""
+    factory, make_graph = CASES[name]
+    dict_graph = make_graph()
+    csr_graph = dict_graph.to_backend("csr")
+    ref_edges, ref_totals = _materialize(factory, dict_graph, "cold")
+    assert ref_edges, "degenerate fixture: empty spanner"
+    for graph in (dict_graph, csr_graph):
+        for mode in QUERY_MODES:
+            edges, totals = _materialize(factory, graph, mode)
+            assert edges == ref_edges, (graph.backend, mode)
+            assert totals == ref_totals, (graph.backend, mode)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_per_kind_probe_counts_match_cold_schedule(name):
+    """The cached engine charges per *kind* exactly like the cold oracle."""
+    factory, make_graph = CASES[name]
+    graph = make_graph()
+    cold = factory(graph)
+    cold.materialize(mode="cold")
+    cached = factory(graph)
+    cached.materialize(mode="batched")
+    assert cold._counter.snapshot() == cached._counter.snapshot()
+
+
+def test_query_with_stats_matches_across_modes():
+    """The per-query API reports the cold probe snapshot in cached mode too."""
+    graph = graphs.gnp_graph(70, 0.25, seed=11)
+    cold = _spanner3(graph)
+    cached = _spanner3(graph).set_query_mode("cached")
+    for (u, v) in list(graph.edges())[:80]:
+        a = cold.query_with_stats(u, v)
+        b = cached.query_with_stats(u, v)
+        assert a.in_spanner == b.in_spanner
+        assert a.probes == b.probes
+    # Repeating the queries hits the memo and must charge the same again.
+    for (u, v) in list(graph.edges())[:80]:
+        a = cold.query_with_stats(u, v)
+        b = cached.query_with_stats(u, v)
+        assert a.probes == b.probes
+
+
+def test_cached_oracle_primitives_charge_like_cold():
+    """Primitive-level contract: per-kind charges match call by call."""
+    graph = graphs.gnp_graph(40, 0.3, seed=2)
+    cold = AdjacencyListOracle(graph)
+    cached = CachedOracle(graph)
+    v = graph.vertices()[0]
+    w = graph.neighbors(v)[0]
+    for _ in range(2):  # second round exercises warm caches
+        for op in (
+            lambda o: o.degree(v),
+            lambda o: o.neighbor(v, 0),
+            lambda o: o.neighbor(v, 10 ** 6),
+            lambda o: o.adjacency(v, w),
+            lambda o: o.adjacency(v, -1),
+            lambda o: o.neighbors_prefix(v, 3),
+            lambda o: o.neighbors_prefix(v, 10 ** 6),
+            lambda o: o.neighbors_block(v, 2, 1),
+            lambda o: o.neighbors_block(v, 2, 10 ** 6),
+            lambda o: o.all_neighbors(v),
+        ):
+            assert op(cold) == op(cached)
+            assert cold.counter.snapshot() == cached.counter.snapshot()
+
+
+def test_memoized_replays_measured_cost():
+    graph = graphs.gnp_graph(30, 0.3, seed=4)
+    oracle = CachedOracle(graph)
+    v = graph.vertices()[0]
+
+    def compute():
+        return tuple(oracle.neighbors_prefix(v, 4))
+
+    first = oracle.memoized("ns", v, compute)
+    cost_after_miss = oracle.counter.snapshot()
+    second = oracle.memoized("ns", v, compute)
+    assert first == second
+    replayed = oracle.counter.snapshot() - cost_after_miss
+    assert replayed == cost_after_miss  # hit replays exactly the miss cost
+    assert oracle.cache.stats.hits == 1 and oracle.cache.stats.misses == 1
+
+
+def test_csr_round_trip_preserves_orderings():
+    graph = graphs.planted_hub_graph(90, num_hubs=3, hub_degree=40, seed=9)
+    csr = graph.to_backend("csr")
+    assert csr.to_backend("csr") is csr
+    back = csr.to_backend("dict")
+    assert back.as_adjacency() == graph.as_adjacency()
+    assert graph.max_degree() == csr.max_degree()
+    assert graph.min_degree() == csr.min_degree()
+    assert sorted(graph.edges()) == sorted(csr.edges())

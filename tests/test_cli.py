@@ -116,3 +116,39 @@ def test_unknown_family_rejected(tmp_path):
         from repro.cli import cmd_generate
 
         cmd_generate(args)
+
+
+def test_query_mode_and_backend_flags(graph_file, capsys):
+    """--backend / --query-mode select the fast path without changing output."""
+    outputs = {}
+    for backend in ("dict", "csr"):
+        for mode in ("cold", "cached", "batched"):
+            code = main(
+                ["evaluate", "--graph", graph_file, "--algorithm", "spanner3",
+                 "--seed", "4", "--backend", backend, "--query-mode", mode]
+            )
+            assert code == 0
+            outputs[(backend, mode)] = capsys.readouterr().out
+    reference = outputs[("dict", "cold")]
+    assert "spanner3" in reference
+    for key, out in outputs.items():
+        assert out == reference, key
+
+
+def test_query_command_accepts_query_mode(graph_file, capsys):
+    graph = read_edge_list(graph_file)
+    u, v = next(iter(graph.edges()))
+    cold = main(["query", "--graph", graph_file, "--edge", f"{u},{v}",
+                 "--query-mode", "cold"])
+    cold_out = capsys.readouterr().out
+    cached = main(["query", "--graph", graph_file, "--edge", f"{u},{v}",
+                   "--query-mode", "cached", "--backend", "csr"])
+    cached_out = capsys.readouterr().out
+    assert cold == cached == 0
+    # The title line names the backend class; the query rows must agree.
+    assert cold_out.splitlines()[1:] == cached_out.splitlines()[1:]
+
+
+def test_backend_flag_rejects_unknown_value(graph_file):
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--graph", graph_file, "--backend", "quantum"])

@@ -114,3 +114,24 @@ def test_statistics_percentile_bounds():
     stats.add(1)
     with pytest.raises(ValueError):
         stats.percentile(150)
+
+
+def test_statistics_percentile_uses_floor_based_nearest_rank():
+    """Ranks exactly half-way between two positions must round *up*.
+
+    ``round()`` uses banker's rounding: ``round(2.5) == 2``, silently picking
+    the rank below the midpoint for even tie ranks.  With 6 values the 50th
+    percentile sits at rank ``0.5 * 5 = 2.5`` and must select index 3.
+    """
+    stats = ProbeStatistics()
+    for value in [1, 2, 3, 4, 5, 6]:
+        stats.add(value)
+    assert stats.percentile(50) == 4  # round() would give 3
+    # Quartiles of 11 values land on exact ranks and are unaffected.
+    stats = ProbeStatistics()
+    for value in range(11):
+        stats.add(value)
+    assert stats.percentile(25) == 3  # rank 2.5 rounds up
+    assert stats.percentile(50) == 5
+    assert stats.percentile(75) == 8  # rank 7.5 rounds up
+    assert stats.percentile(10) == 1
