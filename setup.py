@@ -1,10 +1,29 @@
-"""Setuptools shim.
+"""Package metadata and console entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-editable installs (``pip install -e .``) work in offline environments whose
-setuptools lacks the PEP 660 wheel-based editable path.
+``pip install -e .`` makes the library importable without PYTHONPATH tricks
+and installs the ``repro`` command, so CLI workflows read
+``repro serve-bench ...`` instead of ``python -m repro.cli serve-bench ...``.
+Kept as a plain ``setup.py`` (no pyproject) so editable installs work in
+offline environments whose setuptools lacks the PEP 660 wheel-based
+editable path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-spanner-lca",
+    version="1.0.0",
+    description=(
+        "Local computation algorithms for graph spanners "
+        "(Parter-Rubinfeld-Vakilian-Yodpinyanee reproduction) with an "
+        "online query-serving layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ]
+    },
+)

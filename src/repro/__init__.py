@@ -17,6 +17,8 @@ The public API is re-exported here for convenience:
 * classic LCAs (MIS, matching)          — :mod:`repro.lca_classic`
 * lower-bound constructions             — :mod:`repro.lowerbound`
 * verification / benchmarking harness   — :mod:`repro.analysis`
+* online query service (shards, scheduler, workloads)
+                                        — :mod:`repro.service`
 
 Quickstart
 ----------
@@ -27,7 +29,7 @@ Quickstart
 True
 """
 
-from . import analysis, baselines, core, graphs, lca_classic, lowerbound, rand
+from . import analysis, baselines, core, graphs, lca_classic, lowerbound, rand, service
 from .analysis import (
     EvaluationReport,
     check_consistency,
@@ -49,6 +51,14 @@ from .core import (
 )
 from .core.registry import available as available_lcas
 from .core.registry import create as create_lca
+from .service import (
+    ServiceConfig,
+    ServiceEngine,
+    ServiceReport,
+    ShardedOraclePool,
+    make_workload,
+    serve_workload,
+)
 from .graphs import CSRGraph, Graph
 from .spanner3 import ThreeSpannerLCA, ThreeSpannerParams
 from .spanner5 import FiveSpannerLCA, FiveSpannerParams
@@ -90,4 +100,11 @@ __all__ = [
     "format_table",
     "available_lcas",
     "create_lca",
+    "service",
+    "ServiceConfig",
+    "ServiceEngine",
+    "ServiceReport",
+    "ShardedOraclePool",
+    "serve_workload",
+    "make_workload",
 ]

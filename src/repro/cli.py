@@ -8,6 +8,7 @@ without writing Python:
 * ``repro-lca generate``   — write one of the built-in synthetic workloads,
 * ``repro-lca sweep``      — size/probe scaling sweep with exponent fits,
 * ``repro-lca lowerbound`` — the Theorem 1.3 distinguishing experiment,
+* ``repro-lca serve-bench``— run the online query service on a workload,
 * ``repro-lca list``       — list the registered constructions.
 
 Graphs are read from edge-list files (see :mod:`repro.graphs.io`) or
@@ -23,6 +24,8 @@ Usage examples::
     python -m repro.cli query --graph g.txt --query-mode cold --edge 3,17
     python -m repro.cli sweep --algorithm spanner3 --sizes 200,400,800
     python -m repro.cli lowerbound --n 202 --budget 14 --trials 10
+    python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
+        --workload zipf --requests 2000 --shards 4 --batch-size 32
 
 ``--backend {dict,csr}`` picks the graph storage backend and
 ``--query-mode {cold,cached,batched}`` the query engine; both are
@@ -40,6 +43,13 @@ from .analysis import evaluate_lca, exponent_row, format_table, run_sweep
 from .core.registry import available, create
 from .graphs.io import read_edge_list, write_edge_list
 from .lowerbound import run_distinguishing_experiment
+from .service import (
+    ROUTING_POLICIES,
+    WORKLOAD_KINDS,
+    ServiceConfig,
+    ServiceEngine,
+    make_workload,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -166,6 +176,56 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    graph = _load_graph(args)
+    workload_options = {}
+    if args.workload == "trace":
+        if not args.trace:
+            raise SystemExit("--trace FILE is required for the trace workload")
+        workload_options["path"] = args.trace
+    if args.workload == "zipf":
+        workload_options["skew"] = args.skew
+    workload = make_workload(
+        args.workload,
+        graph,
+        num_requests=args.requests,
+        seed=args.workload_seed,
+        **workload_options,
+    )
+    config = ServiceConfig(
+        num_shards=args.shards,
+        routing=args.routing,
+        batch_size=args.batch_size,
+        max_queue_depth=args.queue_depth,
+        arrival_burst=args.arrival_burst,
+        coalesce=not args.no_coalesce,
+        record=False,
+    )
+    engine = ServiceEngine(
+        graph, lambda g: create(args.algorithm, g, seed=args.seed), config
+    )
+    report = engine.run(workload)
+    print(format_table([report.as_row()], title="Service run"))
+    shard_rows = [
+        {
+            "shard": r.shard_id,
+            "requests": r.requests,
+            "probes": r.probes.total,
+            "cache hits": r.cache_hits,
+            "hit rate": round(r.cache_hit_rate, 3),
+        }
+        for r in report.shard_reports
+    ]
+    print(format_table(shard_rows, title="Per-shard telemetry"))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote report to {args.json}")
+    return 0
+
+
 def cmd_lowerbound(args) -> int:
     result = run_distinguishing_experiment(
         num_vertices=args.n,
@@ -275,6 +335,54 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--target-size-exponent", type=float, default=1.5)
     sweep.add_argument("--target-probe-exponent", type=float, default=0.75)
     sweep.set_defaults(handler=cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="run the online query service (sharded pool + scheduler) on a workload",
+    )
+    _add_graph_options(serve)
+    serve.add_argument("--algorithm", default="spanner3", help="registered LCA name")
+    serve.add_argument(
+        "--workload",
+        choices=sorted(WORKLOAD_KINDS),
+        default="uniform",
+        help="request-stream kind",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="number of requests to serve (default: 1000 for generative "
+        "workloads; trace workloads replay the whole recording)",
+    )
+    serve.add_argument(
+        "--workload-seed", type=int, default=0, help="request-stream random seed"
+    )
+    serve.add_argument(
+        "--skew", type=float, default=1.1, help="zipf workload skew exponent"
+    )
+    serve.add_argument("--trace", help="JSONL trace file (trace workload)")
+    serve.add_argument("--shards", type=int, default=4, help="oracle pool size")
+    serve.add_argument(
+        "--routing", choices=sorted(ROUTING_POLICIES), default="hash",
+        help="vertex-to-shard routing policy",
+    )
+    serve.add_argument("--batch-size", type=int, default=32, help="coalesced batch size")
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="admission-control queue depth limit",
+    )
+    serve.add_argument(
+        "--arrival-burst", type=int, default=None,
+        help="arrivals per scheduling cycle (default: batch size; larger "
+        "values model ingress overload and trigger load shedding)",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="serve request-by-request instead of coalescing batches per shard",
+    )
+    serve.add_argument("--json", help="also write the full report to this JSON file")
+    serve.set_defaults(handler=cmd_serve_bench)
 
     lower = sub.add_parser("lowerbound", help="Theorem 1.3 distinguishing experiment")
     lower.add_argument("--n", type=int, default=202)

@@ -20,6 +20,7 @@ from .ids import (
     vertex_id,
 )
 from .lca import (
+    BatchQueryResult,
     CombinedLCA,
     EdgeQueryResult,
     KeepAllLCA,
@@ -38,6 +39,7 @@ from .probes import (
     ProbeMeasurement,
     ProbeSnapshot,
     ProbeStatistics,
+    nearest_rank_percentile,
 )
 from .seed import Seed
 
@@ -61,6 +63,7 @@ __all__ = [
     "CombinedLCA",
     "KeepAllLCA",
     "EdgeQueryResult",
+    "BatchQueryResult",
     "MaterializedSpanner",
     "LCADescription",
     "PAPER_RESULTS",
@@ -73,6 +76,7 @@ __all__ = [
     "ProbeSnapshot",
     "ProbeMeasurement",
     "ProbeStatistics",
+    "nearest_rank_percentile",
     "NEIGHBOR",
     "DEGREE",
     "ADJACENCY",

@@ -66,6 +66,27 @@ class EdgeQueryResult:
 
 
 @dataclass
+class BatchQueryResult:
+    """Answers and per-query probe totals for a batch of streamed queries.
+
+    Produced by :meth:`SpannerLCA.query_batch`, the service-layer fast path:
+    parallel lists instead of one :class:`EdgeQueryResult` per query, so a
+    coalesced batch pays no per-request object or context-manager overhead.
+    Entry ``i`` corresponds to the ``i``-th edge of the input batch.
+    """
+
+    edges: List[Edge]
+    answers: List[bool]
+    probe_totals: List[int]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self):
+        return iter(zip(self.edges, self.answers, self.probe_totals))
+
+
+@dataclass
 class MaterializedSpanner:
     """A global spanner obtained by querying an LCA on every edge."""
 
@@ -132,6 +153,20 @@ class SpannerLCA(abc.ABC):
         """The active query-engine mode ("cold", "cached" or "batched")."""
         return self._query_mode
 
+    @property
+    def probe_counter(self) -> ProbeCounter:
+        """The shared probe counter (telemetry: per-kind totals so far)."""
+        return self._counter
+
+    @property
+    def oracle_cache(self):
+        """The :class:`~repro.core.cache.OracleCache` behind the cached
+        engine, or ``None`` while the LCA has only run cold queries.
+        Exposed for telemetry (hit rates, memo sizes); answers never depend
+        on it."""
+        cached = self._cached_oracle
+        return cached.cache if cached is not None else None
+
     def set_query_mode(self, mode: str) -> "SpannerLCA":
         """Select the query engine used by :meth:`query` / :meth:`materialize`.
 
@@ -170,6 +205,55 @@ class SpannerLCA(abc.ABC):
         return EdgeQueryResult(
             edge=canonical_edge(u, v), in_spanner=answer, probes=measurement.used
         )
+
+    def query_batch(
+        self, edges: Iterable[Edge], validate: bool = True
+    ) -> BatchQueryResult:
+        """Answer a batch of queries through the streaming cached engine.
+
+        This is the per-request analogue of the "batched" materialization
+        mode: every query runs through :meth:`_decide` against the shared
+        cached oracle, probe totals are taken as counter deltas, and no
+        per-query result objects or measure contexts are built.  On top of
+        the per-vertex memo layer, *whole query answers* are memoized per
+        exact orientation through :meth:`~repro.core.oracle.CachedOracle.
+        memoized` — an answer is a pure function of ``(graph, seed, query)``
+        and so is its cold probe schedule, so a repeat request replays the
+        stored per-kind probe cost and returns the stored answer without
+        re-running :meth:`_decide`.  Answers and per-query probe totals are
+        therefore identical to :meth:`query_with_stats` — the cold-cache
+        probe schedule is charged for every query (see
+        :mod:`repro.core.cache`) — only the wall-clock cost per request
+        drops, which is what the service layer's batch coalescing banks on.
+
+        ``validate=False`` skips the per-edge membership check for callers
+        (the request scheduler) that have already validated admission.
+        """
+        oracle = self._oracle_for("cached")
+        counter = self._counter
+        decide = self._decide
+        has_edge = self._graph.has_edge
+        batch_edges: List[Edge] = []
+        answers: List[bool] = []
+        totals: List[int] = []
+        own_totals = self.probe_stats.query_totals
+        memoized = oracle.memoized
+        namespace = (self, "query-answer")
+        before = counter.total
+        for (u, v) in edges:
+            if validate and not has_edge(u, v):
+                raise NotAnEdgeError(u, v)
+            answer = memoized(
+                namespace, (u, v), lambda: bool(decide(oracle, u, v))
+            )
+            after = counter.total
+            used = after - before
+            before = after
+            batch_edges.append((u, v))
+            answers.append(answer)
+            totals.append(used)
+            own_totals.append(used)
+        return BatchQueryResult(edges=batch_edges, answers=answers, probe_totals=totals)
 
     # ------------------------------------------------------------------ #
     # Global materialization (verification bridge)

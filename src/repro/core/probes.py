@@ -24,6 +24,28 @@ ADJACENCY = "adjacency"
 PROBE_KINDS = (NEIGHBOR, DEGREE, ADJACENCY)
 
 
+def nearest_rank_percentile(ordered, q: float):
+    """The ``q``-th percentile (0 <= q <= 100) of an already *sorted* sequence.
+
+    Uses explicit floor-based nearest-rank selection
+    (``⌊q/100 · (N-1) + 1/2⌋``): half-way ranks always round up, unlike
+    ``round()`` whose banker's rounding rounds ties to the nearest even rank
+    and can pick the rank *below* the midpoint.  Works for any ordered values
+    (probe counts, latencies, ...); returns an element of the sequence, or 0
+    when it is empty.
+    """
+    if not ordered:
+        return 0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be between 0 and 100")
+    # Multiply before dividing — (q/100) * (N-1) loses the tie rank to
+    # representation error (e.g. (58/100)*25 = 14.499999999999998 would
+    # floor to 14, not 15) — then quantize away the remaining sub-1e-9
+    # float noise so decimal q values (64.6, ...) hit their exact rank.
+    rank = round(q * (len(ordered) - 1) / 100.0, 9)
+    return ordered[int(math.floor(rank + 0.5))]
+
+
 @dataclass
 class ProbeSnapshot:
     """Immutable view of probe counts at a moment in time."""
@@ -168,23 +190,10 @@ class ProbeStatistics:
     def percentile(self, q: float) -> int:
         """Return the ``q``-th percentile (0 <= q <= 100) of per-query probes.
 
-        Uses explicit floor-based nearest-rank selection
-        (``⌊q/100 · (N-1) + 1/2⌋``): half-way ranks always round up, unlike
-        ``round()`` whose banker's rounding rounds ties to the nearest even
-        rank and can pick the rank *below* the midpoint.
+        Delegates to :func:`nearest_rank_percentile` (floor-based nearest
+        rank), shared with the service-layer latency statistics.
         """
-        if not self.query_totals:
-            return 0
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("percentile must be between 0 and 100")
-        ordered = sorted(self.query_totals)
-        # Multiply before dividing — (q/100) * (N-1) loses the tie rank to
-        # representation error (e.g. (58/100)*25 = 14.499999999999998 would
-        # floor to 14, not 15) — then quantize away the remaining sub-1e-9
-        # float noise so decimal q values (64.6, ...) hit their exact rank.
-        rank = round(q * (len(ordered) - 1) / 100.0, 9)
-        idx = int(math.floor(rank + 0.5))
-        return ordered[idx]
+        return nearest_rank_percentile(sorted(self.query_totals), q)
 
     def as_dict(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,257 @@
+"""Request scheduler: bounded queue, admission control, batch coalescing.
+
+The engine turns a :class:`~repro.service.workload.Workload` (an open-loop
+arrival stream) into served answers through a
+:class:`~repro.service.shards.ShardedOraclePool`, in repeated cycles:
+
+1. **Ingest** — pull up to ``arrival_burst`` requests from the stream.
+   Each arrival passes admission control: requests for pairs that are not
+   edges of ``G`` and requests arriving while the queue is at
+   ``max_queue_depth`` are rejected (counted, never served).  Admitted
+   requests are stamped with their arrival time.
+2. **Dispatch** — pop up to ``batch_size`` requests (FIFO).  With
+   ``coalesce=True`` the batch is routed as a group: the router partitions
+   it by owning shard and each shard streams its sub-batch through the
+   :meth:`~repro.core.lca.SpannerLCA.query_batch` fast path.  With
+   ``coalesce=False`` every request is dispatched individually through the
+   pre-existing per-query API — the unbatched baseline.
+3. **Complete** — stamp completion, record per-request latency
+   (completion − arrival, so queueing delay is included), feed answers back
+   to the workload (the adaptive kind steers on them), and accumulate
+   telemetry.
+
+Setting ``arrival_burst > batch_size`` models an overloaded ingress: the
+queue fills, admission control starts shedding, and the latency percentiles
+show the queueing delay — the knobs a load-shedding study needs.
+
+Everything is deterministic given (graph, seed, workload): answers are pure
+functions of ``(graph, seed, query)``, so scheduling, sharding and batching
+can only change *wall-clock* numbers, never answers or per-request probe
+totals.  ``tests/test_service_equivalence.py`` pins exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, NamedTuple, Optional, Tuple
+
+from ..core.lca import SpannerLCA
+from ..core.probes import ProbeStatistics
+from ..graphs.graph import Graph
+from .metrics import LatencyStats, ServiceReport
+from .shards import ROUTING_POLICIES, ShardedOraclePool
+from .workload import Workload
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of the query service (answers never depend on them)."""
+
+    num_shards: int = 1
+    routing: str = "hash"
+    batch_size: int = 32
+    max_queue_depth: int = 1024
+    #: Arrivals ingested per scheduling cycle; defaults to ``batch_size``
+    #: (steady state).  Larger values model ingress overload and exercise
+    #: admission control.
+    arrival_burst: Optional[int] = None
+    #: ``True`` — group each dispatched batch by shard and stream it
+    #: (the fast path); ``False`` — serve request by request (baseline).
+    coalesce: bool = True
+    #: Keep a per-request :class:`RequestRecord` log on the engine
+    #: (equivalence tests replay it; disable for pure throughput runs).
+    record: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r}; choices: {ROUTING_POLICIES}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.arrival_burst is not None and self.arrival_burst < 1:
+            raise ValueError("arrival_burst must be >= 1")
+
+    @property
+    def effective_burst(self) -> int:
+        return self.batch_size if self.arrival_burst is None else self.arrival_burst
+
+
+class RequestRecord(NamedTuple):
+    """One served request, as logged by the engine (replayable)."""
+
+    seq: int
+    u: int
+    v: int
+    in_spanner: bool
+    probe_total: int
+    latency_s: float
+
+
+class _Pending(NamedTuple):
+    seq: int
+    u: int
+    v: int
+    arrival_s: float
+
+
+class ServiceEngine:
+    """Drives one workload run against a sharded oracle pool.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (shared by every shard, read-only).
+    lca_factory:
+        ``graph -> SpannerLCA`` factory with the seed baked in; one instance
+        is created per shard.
+    config:
+        Scheduler and pool knobs (:class:`ServiceConfig`).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        lca_factory: Callable[[Graph], SpannerLCA],
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else ServiceConfig()
+        self.pool = ShardedOraclePool(
+            graph,
+            lca_factory,
+            num_shards=self.config.num_shards,
+            routing=self.config.routing,
+        )
+        #: Per-request log of the most recent :meth:`run` (when
+        #: ``config.record``); replayed by the equivalence tests.
+        self.records: List[RequestRecord] = []
+
+    def run(self, workload: Workload, clock=time.perf_counter) -> ServiceReport:
+        """Serve the whole workload; returns the telemetry report.
+
+        ``clock`` is injectable for tests; it must be monotone.
+        """
+        config = self.config
+        pool = self.pool
+        has_edge = self.graph.has_edge
+        burst = config.effective_burst
+        batch_size = config.batch_size
+        depth_limit = config.max_queue_depth
+        coalesce = config.coalesce
+
+        queue: deque = deque()
+        records: List[RequestRecord] = []
+        self.records = records
+        latency = LatencyStats()
+        probe_stats = ProbeStatistics()
+        offered = admitted = rejected = invalid = served = in_spanner = 0
+        batches = 0
+        max_depth_seen = 0
+        seq = 0
+        exhausted = False
+        # Shard telemetry is lifetime-scoped (an engine can run several
+        # workloads); baseline it so the report only covers this run.
+        shard_baseline = pool.telemetry()
+
+        started = clock()
+        while not exhausted or queue:
+            # ---- ingest: up to `burst` arrivals through admission control
+            arrivals = 0
+            while arrivals < burst and not exhausted:
+                edge = workload.next_request()
+                if edge is None:
+                    exhausted = True
+                    break
+                arrivals += 1
+                offered += 1
+                u, v = edge
+                if not has_edge(u, v):
+                    invalid += 1
+                    rejected += 1
+                    continue
+                if len(queue) >= depth_limit:
+                    rejected += 1
+                    continue
+                seq += 1
+                queue.append(_Pending(seq, u, v, clock()))
+                admitted += 1
+            if len(queue) > max_depth_seen:
+                max_depth_seen = len(queue)
+            if not queue:
+                continue
+
+            # ---- dispatch: pop one FIFO batch and serve it
+            take = min(batch_size, len(queue))
+            batch = [queue.popleft() for _ in range(take)]
+            batches += 1
+            if coalesce:
+                answers = pool.serve_grouped(
+                    [(req.u, req.v) for req in batch], validate=False
+                )
+                done = clock()
+                completions = [
+                    (req, answer, probes, done)
+                    for req, (answer, probes) in zip(batch, answers)
+                ]
+            else:
+                completions = []
+                for req in batch:
+                    answer, probes = pool.serve_one(req.u, req.v)
+                    completions.append((req, answer, probes, clock()))
+
+            # ---- complete: telemetry + feedback, in request order
+            for req, answer, probes, done in completions:
+                served += 1
+                if answer:
+                    in_spanner += 1
+                elapsed = done - req.arrival_s
+                latency.add(elapsed)
+                probe_stats.add(probes)
+                workload.observe((req.u, req.v), answer)
+                if config.record:
+                    records.append(
+                        RequestRecord(req.seq, req.u, req.v, answer, probes, elapsed)
+                    )
+        duration = clock() - started
+
+        report = ServiceReport(
+            algorithm=pool.algorithm,
+            workload=workload.kind,
+            num_shards=config.num_shards,
+            routing=config.routing,
+            batch_size=batch_size,
+            coalesced=coalesce,
+            offered=offered,
+            admitted=admitted,
+            rejected=rejected,
+            served=served,
+            in_spanner=in_spanner,
+            duration_s=duration,
+            batches=batches,
+            max_queue_depth_seen=max_depth_seen,
+            latency=latency,
+            probe_stats=probe_stats,
+            shard_reports=pool.reports(since=shard_baseline),
+        )
+        if invalid:
+            report.extras["invalid_requests"] = invalid
+        return report
+
+
+def serve_workload(
+    graph: Graph,
+    lca_factory: Callable[[Graph], SpannerLCA],
+    workload: Workload,
+    config: Optional[ServiceConfig] = None,
+) -> ServiceReport:
+    """One-shot convenience wrapper: build an engine, run one workload."""
+    return ServiceEngine(graph, lca_factory, config).run(workload)

@@ -1,0 +1,291 @@
+"""Sharded oracle pool: vertex-partitioned CachedOracle instances + a router.
+
+The LCA contract (Definition 1.4) makes every answer a pure function of
+``(graph, seed, query)``, so *any* number of independently instantiated LCAs
+with the same seed agree on every query.  That freedom is what makes
+horizontal sharding trivial to get right: a :class:`ShardedOraclePool` holds
+``N`` independent LCA instances — one per shard, each with its own
+:class:`~repro.core.oracle.CachedOracle`, probe counter and
+:class:`~repro.core.cache.OracleCache` memo state — and a router maps each
+query edge to the shard that *owns* its canonical first endpoint.
+
+Sharding therefore partitions the **memo state**, not the graph: every shard
+can read the whole graph (the cache layer is probe-free; the model cost is
+charged per query exactly as a single oracle would charge it), but a vertex's
+derived state (center sets, cluster memberships, representatives) is only
+ever materialized on the one shard that owns the vertex, so memory scales
+down per shard and shards never contend on shared mutable state — the layout
+a real multi-process deployment would use.
+
+Routing policies
+----------------
+``hash``
+    ``owner = mix(u) % N`` with a splitmix-style integer mix — spreads
+    consecutive vertex ids across shards (good load balance for skewed
+    workloads whose hot vertices have nearby ids).
+``range``
+    ``owner = rank(u) * N // n`` over the sorted vertex id space —
+    contiguous vertex ranges per shard (locality: neighboring vertices tend
+    to co-locate, which helps the per-shard memo when workloads walk
+    neighborhoods).
+
+Both are pure functions of the vertex id, so a router can be recomputed
+anywhere (client-side routing) and answers never depend on the policy.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.lca import BatchQueryResult, SpannerLCA
+from ..core.probes import ProbeSnapshot
+from ..graphs.graph import Graph
+
+Edge = Tuple[int, int]
+
+#: Supported routing policies.
+ROUTING_POLICIES = ("hash", "range")
+
+
+def _splitmix(x: int) -> int:
+    """Deterministic 64-bit integer mix (splitmix64 finalizer).
+
+    Python's ``hash(int)`` is the identity for small ints, which would make
+    "hash" routing degenerate to modulo; this mix decorrelates vertex ids
+    from shard ids.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class ShardRouter:
+    """Maps vertices (and query edges) to shard ids.
+
+    A query ``(u, v)`` is owned by the shard of its canonical first endpoint
+    ``min(u, v)``, so both orientations of an edge route identically and a
+    repeat query always lands on the shard holding its memoized state.
+
+    ``vertices`` is either the vertex count (ids assumed ``0 .. n-1``) or
+    the actual id sequence; range routing partitions the *sorted id space*
+    into contiguous blocks, so graphs with arbitrary (sparse, offset) ids
+    still spread across all shards instead of clamping onto the last one.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        vertices: Union[int, Sequence[int]],
+        policy: str = "hash",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choices: {ROUTING_POLICIES}"
+            )
+        self.num_shards = int(num_shards)
+        if isinstance(vertices, int):
+            self.num_vertices = vertices
+            self._sorted_ids: Optional[List[int]] = None
+        else:
+            self._sorted_ids = sorted(int(v) for v in vertices)
+            self.num_vertices = len(self._sorted_ids)
+        self.policy = policy
+
+    def shard_of_vertex(self, v: int) -> int:
+        if self.policy == "hash":
+            return _splitmix(int(v)) % self.num_shards
+        # range: contiguous blocks of the sorted vertex id space, by rank.
+        if self.num_vertices <= 0:
+            return 0
+        if self._sorted_ids is None:
+            rank = min(max(int(v), 0), self.num_vertices - 1)
+        else:
+            rank = min(
+                bisect.bisect_left(self._sorted_ids, int(v)), self.num_vertices - 1
+            )
+        return rank * self.num_shards // self.num_vertices
+
+    def shard_of_edge(self, u: int, v: int) -> int:
+        return self.shard_of_vertex(u if u <= v else v)
+
+
+@dataclass
+class ShardReport:
+    """Telemetry for one shard of the pool."""
+
+    shard_id: int
+    requests: int
+    probes: ProbeSnapshot
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard_id,
+            "requests": self.requests,
+            "probes": self.probes.as_dict(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+class OracleShard:
+    """One shard: an independent LCA instance plus request accounting.
+
+    The shard serves queries either one at a time (:meth:`serve_one`, the
+    pre-existing per-query API with its per-request measure context) or as a
+    coalesced batch (:meth:`serve_batch`, the streaming
+    :meth:`~repro.core.lca.SpannerLCA.query_batch` fast path).  Both produce
+    identical answers and identical per-query probe totals.
+    """
+
+    __slots__ = ("shard_id", "lca", "requests")
+
+    def __init__(self, shard_id: int, lca: SpannerLCA) -> None:
+        self.shard_id = shard_id
+        self.lca = lca.set_query_mode("cached")
+        self.requests = 0
+
+    def serve_one(self, u: int, v: int) -> Tuple[bool, int]:
+        """Serve a single request; returns ``(answer, probe_total)``."""
+        self.requests += 1
+        outcome = self.lca.query_with_stats(u, v)
+        return outcome.in_spanner, outcome.probe_total
+
+    def serve_batch(self, edges: Sequence[Edge], validate: bool = True) -> BatchQueryResult:
+        """Serve a coalesced batch through the streaming engine."""
+        self.requests += len(edges)
+        return self.lca.query_batch(edges, validate=validate)
+
+    def telemetry(self) -> Tuple[int, ProbeSnapshot, int, int]:
+        """Lifetime counters ``(requests, probes, cache_hits, cache_misses)``;
+        pass to :meth:`report` as a baseline to get per-run deltas."""
+        cache = self.lca.oracle_cache
+        return (
+            self.requests,
+            self.lca.probe_counter.snapshot(),
+            cache.stats.hits if cache is not None else 0,
+            cache.stats.misses if cache is not None else 0,
+        )
+
+    def report(
+        self, since: Optional[Tuple[int, ProbeSnapshot, int, int]] = None
+    ) -> ShardReport:
+        """Telemetry since ``since`` (a :meth:`telemetry` baseline), or since
+        shard creation when omitted."""
+        requests, probes, hits, misses = self.telemetry()
+        if since is not None:
+            base_requests, base_probes, base_hits, base_misses = since
+            requests -= base_requests
+            probes = probes - base_probes
+            hits -= base_hits
+            misses -= base_misses
+        return ShardReport(
+            shard_id=self.shard_id,
+            requests=requests,
+            probes=probes,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+
+class ShardedOraclePool:
+    """``N`` independent LCA shards behind a vertex router.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (shared, read-only).
+    lca_factory:
+        Callable ``graph -> SpannerLCA``.  It must bake in the seed (and any
+        parameters) so that every shard's instance answers identically —
+        which the LCA purity contract then guarantees.
+    num_shards:
+        Number of independent shards.
+    routing:
+        ``"hash"`` or ``"range"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        lca_factory: Callable[[Graph], SpannerLCA],
+        num_shards: int = 1,
+        routing: str = "hash",
+    ) -> None:
+        self.graph = graph
+        self.router = ShardRouter(num_shards, graph.vertices(), routing)
+        self.shards = [
+            OracleShard(i, lca_factory(graph)) for i in range(num_shards)
+        ]
+        name = self.shards[0].lca.name
+        if any(shard.lca.name != name for shard in self.shards):
+            raise ValueError("lca_factory produced differently named LCAs")
+        self.algorithm = name
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, u: int, v: int) -> OracleShard:
+        return self.shards[self.router.shard_of_edge(u, v)]
+
+    def serve_one(self, u: int, v: int) -> Tuple[bool, int]:
+        """Route and serve a single request (the unbatched path)."""
+        return self.shard_for(u, v).serve_one(u, v)
+
+    def serve_grouped(
+        self, edges: Sequence[Edge], validate: bool = True
+    ) -> List[Tuple[bool, int]]:
+        """Route a coalesced batch: group by shard, stream each group.
+
+        Returns one ``(answer, probe_total)`` per input edge, in input
+        order, regardless of how the batch was split across shards.
+        """
+        if not edges:
+            return []
+        # Single routing pass: remember each edge's batch position so the
+        # per-shard results scatter straight back into batch order.
+        shard_of = self.router.shard_of_edge
+        groups: Dict[int, List[Edge]] = {}
+        slots: Dict[int, List[int]] = {}
+        for position, (u, v) in enumerate(edges):
+            shard_id = shard_of(u, v)
+            if shard_id in groups:
+                groups[shard_id].append((u, v))
+                slots[shard_id].append(position)
+            else:
+                groups[shard_id] = [(u, v)]
+                slots[shard_id] = [position]
+        out: List[Tuple[bool, int]] = [None] * len(edges)  # type: ignore[list-item]
+        for shard_id, group in groups.items():
+            result = self.shards[shard_id].serve_batch(group, validate=validate)
+            for position, answer, total in zip(
+                slots[shard_id], result.answers, result.probe_totals
+            ):
+                out[position] = (answer, total)
+        return out
+
+    def telemetry(self) -> List[Tuple[int, ProbeSnapshot, int, int]]:
+        """Per-shard lifetime counters (a baseline for :meth:`reports`)."""
+        return [shard.telemetry() for shard in self.shards]
+
+    def reports(
+        self, since: Optional[List[Tuple[int, ProbeSnapshot, int, int]]] = None
+    ) -> List[ShardReport]:
+        if since is None:
+            return [shard.report() for shard in self.shards]
+        return [
+            shard.report(baseline) for shard, baseline in zip(self.shards, since)
+        ]

@@ -1,0 +1,51 @@
+"""JSONL request traces: record streams once, replay them forever.
+
+A trace is a line-delimited JSON file with one request per line::
+
+    {"u": 3, "v": 17}
+    {"u": 5, "v": 8}
+
+Orientation is preserved — ``{"u": 17, "v": 3}`` replays as the query
+``(17, 3)`` — because the LCA answers are orientation-invariant but probe
+*schedules* need not be, and bit-identical replay is the whole point of a
+trace.  Unknown extra keys are ignored so traces can carry annotations
+(timestamps, client ids) without breaking replay.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+Edge = Tuple[int, int]
+PathLike = Union[str, Path]
+
+
+def write_trace(path: PathLike, edges: Iterable[Edge]) -> int:
+    """Write a request stream as a JSONL trace; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for (u, v) in edges:
+            handle.write(json.dumps({"u": int(u), "v": int(v)}) + "\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: PathLike) -> Iterator[Edge]:
+    """Stream requests from a JSONL trace (blank lines are skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield (int(record["u"]), int(record["v"]))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace record") from exc
+
+
+def read_trace(path: PathLike) -> List[Edge]:
+    """Load a whole JSONL trace into memory."""
+    return list(iter_trace(path))

@@ -1,0 +1,157 @@
+"""Cold-schedule charging is order-independent under interleaved queries.
+
+The accounting contract of :mod:`repro.core.cache` says every query is
+charged the probes of its *cold-cache* schedule — a pure function of
+``(graph, seed, query)`` — no matter which queries ran before it and warmed
+the memo tables.  The backend-equivalence suite pins this end-to-end for
+materializations (one fixed edge order); these tests attack the contract
+where it is actually at risk: per-query charges under *interleaved* and
+*reordered* query streams, including streams interleaved across different
+constructions, which is exactly the access pattern the service layer's
+sharded pool produces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import graphs
+from repro.core.registry import create
+from repro.spannerk import KSquaredParams, KSquaredSpannerLCA
+
+
+def _spanner3(graph):
+    return create("spanner3", graph, seed=5, hitting_constant=1.0)
+
+
+def _spanner5(graph):
+    return create("spanner5", graph, seed=5, hitting_constant=1.0)
+
+
+def _spannerk(graph):
+    params = KSquaredParams(
+        num_vertices=graph.num_vertices,
+        stretch_parameter=2,
+        exploration_budget=6,
+        center_probability=0.3,
+        mark_probability=0.25,
+        rank_quota=20,
+        independence=12,
+    )
+    return KSquaredSpannerLCA(graph, seed=7, params=params)
+
+
+FACTORIES = {"spanner3": _spanner3, "spanner5": _spanner5, "spannerk": _spannerk}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    """One shared graph for all constructions, so streams can interleave."""
+    return graphs.gnp_graph(60, 0.25, seed=11)
+
+
+@pytest.fixture(scope="module")
+def cold_reference(graph):
+    """Per-construction map ``edge -> cold per-kind probe snapshot``."""
+    reference = {}
+    for name, factory in FACTORIES.items():
+        lca = factory(graph)  # cold mode: every query re-derives from scratch
+        reference[name] = {
+            (u, v): lca.query_with_stats(u, v).probes for (u, v) in graph.edges()
+        }
+    return reference
+
+
+def _orders(edges):
+    shuffled = list(edges)
+    random.Random("interleave:1").shuffle(shuffled)
+    return {
+        "forward": list(edges),
+        "reverse": list(reversed(edges)),
+        "shuffled": shuffled,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_per_query_charges_are_independent_of_query_order(
+    name, graph, cold_reference
+):
+    """Any permutation of the stream charges each edge its cold snapshot."""
+    edges = list(graph.edges())
+    for label, order in _orders(edges).items():
+        lca = FACTORIES[name](graph).set_query_mode("cached")
+        for (u, v) in order:
+            snapshot = lca.query_with_stats(u, v).probes
+            assert snapshot == cold_reference[name][(u, v)], (name, label, (u, v))
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_repeats_interleaved_with_new_queries_recharge_identically(
+    name, graph, cold_reference
+):
+    """A hot repeat sandwiched between cold first-touches charges the same
+    cold schedule both times."""
+    edges = list(graph.edges())[:60]
+    lca = FACTORIES[name](graph).set_query_mode("cached")
+    first_charge = {}
+    for index, (u, v) in enumerate(edges):
+        snapshot = lca.query_with_stats(u, v).probes
+        first_charge[(u, v)] = snapshot
+        if index >= 1:  # repeat an earlier (now memoized) query immediately
+            prev = edges[index // 2]
+            again = lca.query_with_stats(*prev).probes
+            assert again == first_charge[prev], (name, prev)
+            assert again == cold_reference[name][prev], (name, prev)
+
+
+def test_interleaving_across_constructions_does_not_cross_charge(
+    graph, cold_reference
+):
+    """Round-robin the same stream through all three constructions at once;
+    every construction still charges its own cold schedule per query."""
+    edges = list(graph.edges())
+    lcas = {
+        name: factory(graph).set_query_mode("cached")
+        for name, factory in FACTORIES.items()
+    }
+    rotation = sorted(FACTORIES)
+    for index, (u, v) in enumerate(edges):
+        # One construction answers this edge; the others answer neighbors of
+        # the stream position, so all memo tables warm out of lockstep.
+        for offset, name in enumerate(rotation):
+            (a, b) = edges[(index + offset) % len(edges)]
+            snapshot = lcas[name].query_with_stats(a, b).probes
+            assert snapshot == cold_reference[name][(a, b)], (name, (a, b))
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_orientation_has_its_own_cold_schedule(name, graph, cold_reference):
+    """(u, v) and (v, u) may probe differently; each orientation must be
+    charged its own cold schedule even when the other is already memoized."""
+    edges = list(graph.edges())[:40]
+    cold = FACTORIES[name](graph)
+    reversed_reference = {
+        (v, u): cold.query_with_stats(v, u).probes for (u, v) in edges
+    }
+    cached = FACTORIES[name](graph).set_query_mode("cached")
+    for (u, v) in edges:
+        forward = cached.query_with_stats(u, v).probes
+        backward = cached.query_with_stats(v, u).probes
+        assert forward == cold_reference[name][(u, v)], (name, (u, v))
+        assert backward == reversed_reference[(v, u)], (name, (v, u))
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_query_batch_totals_match_interleaved_per_query_path(name, graph):
+    """The streaming batch engine charges the same per-request totals as the
+    per-query API for an interleaved, repeat-heavy stream."""
+    edges = list(graph.edges())[:50]
+    stream = edges + [(v, u) for (u, v) in edges[:20]] + edges[:10]
+    batch = FACTORIES[name](graph).query_batch(stream)
+    per_query = FACTORIES[name](graph).set_query_mode("cached")
+    for (u, v), answer, total in batch:
+        outcome = per_query.query_with_stats(u, v)
+        assert outcome.in_spanner == answer, (name, (u, v))
+        assert outcome.probe_total == total, (name, (u, v))

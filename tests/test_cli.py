@@ -152,3 +152,58 @@ def test_query_command_accepts_query_mode(graph_file, capsys):
 def test_backend_flag_rejects_unknown_value(graph_file):
     with pytest.raises(SystemExit):
         main(["evaluate", "--graph", graph_file, "--backend", "quantum"])
+
+
+def test_serve_bench_command_runs_a_workload(graph_file, capsys, tmp_path):
+    report_path = tmp_path / "service.json"
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--algorithm", "spanner3",
+         "--workload", "zipf", "--requests", "200", "--shards", "3",
+         "--batch-size", "8", "--seed", "4", "--json", str(report_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Service run" in out
+    assert "Per-shard telemetry" in out
+    import json
+
+    payload = json.loads(report_path.read_text())
+    assert payload["served"] == 200
+    assert payload["num_shards"] == 3
+    assert len(payload["shards"]) == 3
+
+
+def test_serve_bench_replays_traces(graph_file, capsys, tmp_path):
+    from repro.service import write_trace
+
+    graph = read_edge_list(graph_file)
+    trace_path = tmp_path / "trace.jsonl"
+    write_trace(trace_path, list(graph.edges())[:25])
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--workload", "trace",
+         "--trace", str(trace_path), "--shards", "2", "--no-coalesce"]
+    )
+    assert code == 0
+    assert "trace" in capsys.readouterr().out
+
+
+def test_serve_bench_trace_workload_requires_trace_flag(graph_file):
+    with pytest.raises(SystemExit):
+        main(["serve-bench", "--graph", graph_file, "--workload", "trace"])
+
+
+def test_serve_bench_replays_whole_trace_when_requests_unset(graph_file, capsys, tmp_path):
+    """A trace longer than the generative default (2000) must replay fully."""
+    from repro.service import write_trace
+
+    graph = read_edge_list(graph_file)
+    edges = list(graph.edges())
+    stream = [edges[i % len(edges)] for i in range(2100)]
+    trace_path = tmp_path / "long_trace.jsonl"
+    write_trace(trace_path, stream)
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--workload", "trace",
+         "--trace", str(trace_path), "--shards", "2"]
+    )
+    assert code == 0
+    assert "2100" in capsys.readouterr().out

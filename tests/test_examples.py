@@ -23,6 +23,7 @@ CASES = [
     ("lower_bound_demo.py", ["26", "4", "1"]),
     ("probe_budget_study.py", ["200", "0.15", "3"]),
     ("stretch_certificates.py", ["90", "0.3", "2"]),
+    ("serve_demo.py", ["150", "0.1", "400"]),
 ]
 
 
