@@ -1,0 +1,136 @@
+"""Executor benchmark: serial vs thread vs process materialization.
+
+Times ``SpannerLCA.materialize`` through every executor backend on the dense
+parallel fixture (gnp n=900, p=0.08, ~32k edges), checks that edges and
+per-query probe totals are bit-identical everywhere while it is at it, and
+writes the measurements to ``BENCH_parallel.json`` at the repository root.
+
+Shape to check: the process executor (workers attached to the shared-memory
+CSR export) must beat the in-process serial engine by ≥2× on a multi-core
+host (the CI smoke job relaxes the floor to 1.3× for 2–4 vCPU shared
+runners).  The thread backend is reported for completeness — the GIL
+serializes pure-Python query work, so its ratio hovers around 1× by design.
+Hosts with a single usable core cannot exhibit process-level speedup at all;
+there the ratio is recorded honestly and the floor is not enforced (the
+JSON carries ``cpu_count`` and ``floor_enforced`` so readers can tell).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro import format_table
+from repro.core.registry import create
+
+from conftest import print_section
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+#: Acceptance floor for the headline process-vs-serial speedup on multi-core
+#: hosts.  The environment override exists for shared CI runners (2–4 vCPUs,
+#: noisy neighbors), not for local use.
+MIN_PROCESS_SPEEDUP = float(os.environ.get("BENCH_MIN_PROCESS_SPEEDUP", "2.0"))
+
+#: Timing repetitions (best-of, to shrug off scheduler noise).
+REPEATS = 2
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _time_best(fn):
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, result = elapsed, value
+    return best, result
+
+
+def test_executor_backends_speed_and_equivalence(parallel_benchmark_graph):
+    graph = parallel_benchmark_graph.to_backend("csr")
+    cpus = _cpu_count()
+    workers = max(2, cpus)
+
+    def make():
+        return create("spanner3", graph, seed=5, hitting_constant=1.0)
+
+    runs = {
+        "serial": lambda: make().materialize(mode="batched"),
+        "thread": lambda: make().materialize(executor="thread", workers=workers),
+        "process": lambda: make().materialize(executor="process", workers=workers),
+    }
+    timings = {}
+    reference = None
+    rows = []
+    for label, fn in runs.items():
+        seconds, materialized = _time_best(fn)
+        signature = (
+            frozenset(materialized.edges),
+            tuple(materialized.probe_stats.query_totals),
+        )
+        if reference is None:
+            reference = signature
+        else:
+            assert signature == reference, (label, "cross-executor equivalence broken")
+        timings[label] = seconds
+        rows.append(
+            {
+                "executor": label,
+                "workers": 1 if label == "serial" else workers,
+                "seconds": round(seconds, 3),
+                "speedup vs serial": round(timings["serial"] / seconds, 2),
+                "spanner edges": materialized.num_edges,
+                "probe total": materialized.probe_stats.total,
+            }
+        )
+
+    process_speedup = timings["serial"] / timings["process"]
+    thread_speedup = timings["serial"] / timings["thread"]
+    floor_enforced = cpus >= 2
+
+    print_section(
+        "Parallel execution plane: serial vs thread vs process materialization",
+        format_table(rows)
+        + f"\n\nprocess vs serial: {process_speedup:.2f}x on {cpus} usable "
+        f"CPU(s), {workers} workers"
+        + ("" if floor_enforced else "  [single-core host: floor not enforced]"),
+    )
+
+    payload = {
+        "benchmark": "bench_parallel",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpus,
+        "workers": workers,
+        "graph": {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "family": "gnp(900, 0.08, seed=101)",
+        },
+        "min_process_speedup_required": MIN_PROCESS_SPEEDUP,
+        "floor_enforced": floor_enforced,
+        "timings_s": {label: round(seconds, 4) for label, seconds in timings.items()},
+        "process_speedup_vs_serial": round(process_speedup, 2),
+        "thread_speedup_vs_serial": round(thread_speedup, 2),
+        "equivalent_across_executors": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if floor_enforced:
+        assert process_speedup >= MIN_PROCESS_SPEEDUP, (
+            f"process executor must be at least {MIN_PROCESS_SPEEDUP}x faster "
+            f"than the serial engine on this {cpus}-CPU host, measured "
+            f"{process_speedup:.2f}x"
+        )

@@ -20,7 +20,21 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.9",
+    # CI exercises 3.10-3.12; keep the floor in lockstep so an install on an
+    # untested interpreter fails loudly instead of at runtime.
+    python_requires=">=3.10",
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Operating System :: POSIX :: Linux",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Mathematics",
+        "Topic :: System :: Distributed Computing",
+    ],
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",

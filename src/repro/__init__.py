@@ -17,6 +17,8 @@ The public API is re-exported here for convenience:
 * classic LCAs (MIS, matching)          — :mod:`repro.lca_classic`
 * lower-bound constructions             — :mod:`repro.lowerbound`
 * verification / benchmarking harness   — :mod:`repro.analysis`
+* parallel execution plane (executor backends, shared-memory plans)
+                                        — :mod:`repro.exec`
 * online query service (shards, scheduler, workloads)
                                         — :mod:`repro.service`
 
@@ -29,7 +31,17 @@ Quickstart
 True
 """
 
-from . import analysis, baselines, core, graphs, lca_classic, lowerbound, rand, service
+from . import (
+    analysis,
+    baselines,
+    core,
+    exec,
+    graphs,
+    lca_classic,
+    lowerbound,
+    rand,
+    service,
+)
 from .analysis import (
     EvaluationReport,
     check_consistency,
@@ -71,6 +83,7 @@ __all__ = [
     "analysis",
     "baselines",
     "core",
+    "exec",
     "graphs",
     "lca_classic",
     "lowerbound",

@@ -65,6 +65,8 @@ def evaluate_lca(
     sample_stretch_edges: Optional[int] = None,
     seed: int = 0,
     mode: str = "batched",
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> EvaluationReport:
     """Materialize an LCA over every edge of its graph and verify the result.
 
@@ -83,9 +85,23 @@ def evaluate_lca(
         the batched engine, which produces identical edges and identical
         per-query probe statistics while being several times faster; pass
         "cold" to time the reference per-query path.
+    executor, workers:
+        Optional parallel execution backend ("serial", "thread" or
+        "process", see :mod:`repro.exec`) and worker count for the
+        materialization.  Edges and probe statistics are identical to the
+        in-process engines; only wall-clock time changes.  ``executor``
+        implies the batched engine, so it requires the default ``mode``.
     """
     graph = lca.graph
-    materialized = lca.materialize(mode=mode)
+    if executor is not None:
+        if mode != "batched":
+            raise ValueError(
+                "executor-based evaluation always runs the batched engine; "
+                f"drop mode={mode!r} or drop executor="
+            )
+        materialized = lca.materialize(executor=executor, workers=workers)
+    else:
+        materialized = lca.materialize(mode=mode)
     return evaluate_materialized(
         graph,
         materialized,

@@ -4,6 +4,7 @@ The CLI wraps the most common workflows so the library can be exercised
 without writing Python:
 
 * ``repro-lca query``      — answer spanner queries for specific edges,
+* ``repro-lca materialize``— query every edge and report/export the spanner,
 * ``repro-lca evaluate``   — materialize + verify an LCA on a graph,
 * ``repro-lca generate``   — write one of the built-in synthetic workloads,
 * ``repro-lca sweep``      — size/probe scaling sweep with exponent fits,
@@ -24,11 +25,16 @@ Usage examples::
     python -m repro.cli query --graph g.txt --query-mode cold --edge 3,17
     python -m repro.cli sweep --algorithm spanner3 --sizes 200,400,800
     python -m repro.cli lowerbound --n 202 --budget 14 --trials 10
+    python -m repro.cli materialize --generate gnp --n 400 --density 0.1 \
+        --algorithm spanner3 --executor process --workers 4
     python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
-        --workload zipf --requests 2000 --shards 4 --batch-size 32
+        --workload zipf --requests 2000 --shards 4 --batch-size 32 \
+        --executor thread
 
-``--backend {dict,csr}`` picks the graph storage backend and
-``--query-mode {cold,cached,batched}`` the query engine; both are
+``--backend {dict,csr}`` picks the graph storage backend,
+``--query-mode {cold,cached,batched}`` the query engine, and
+``--executor {serial,thread,process}`` / ``--workers N`` the parallel
+execution backend (``serve-bench`` accepts serial/thread); all are
 performance knobs only — answers and probe accounting are identical.
 """
 
@@ -41,6 +47,7 @@ from typing import List, Optional, Sequence, Tuple
 from . import graphs
 from .analysis import evaluate_lca, exponent_row, format_table, run_sweep
 from .core.registry import available, create
+from .exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
 from .graphs.io import read_edge_list, write_edge_list
 from .lowerbound import run_distinguishing_experiment
 from .service import (
@@ -136,11 +143,51 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _check_executor_mode(args) -> None:
+    if args.executor and args.query_mode != "batched":
+        raise SystemExit(
+            "--executor always runs the batched engine; drop --query-mode "
+            f"{args.query_mode!r} or drop --executor"
+        )
+
+
+def cmd_materialize(args) -> int:
+    _check_executor_mode(args)
+    graph = _load_graph(args)
+    lca = create(args.algorithm, graph, seed=args.seed)
+    if args.executor:
+        spanner = lca.materialize(executor=args.executor, workers=args.workers)
+    else:
+        spanner = lca.materialize(mode=args.query_mode)
+    stats = spanner.probe_stats
+    rows = [
+        {
+            "algorithm": spanner.algorithm,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "|H|": spanner.num_edges,
+            "executor": args.executor or "in-process",
+            "max probes": stats.max,
+            "mean probes": round(stats.mean, 1),
+        }
+    ]
+    print(format_table(rows, title=f"{args.algorithm} materialization"))
+    if args.out:
+        write_edge_list(spanner.as_graph(graph), args.out)
+        print(f"wrote spanner edge list ({spanner.num_edges} edges) to {args.out}")
+    return 0
+
+
 def cmd_evaluate(args) -> int:
+    _check_executor_mode(args)
     graph = _load_graph(args)
     lca = create(args.algorithm, graph, seed=args.seed)
     report = evaluate_lca(
-        lca, sample_stretch_edges=args.stretch_sample, mode=args.query_mode
+        lca,
+        sample_stretch_edges=args.stretch_sample,
+        mode=args.query_mode,
+        executor=args.executor,
+        workers=args.workers,
     )
     print(format_table([report.as_row()], title=f"{args.algorithm} evaluation"))
     if not report.stretch_ok:
@@ -200,6 +247,9 @@ def cmd_serve_bench(args) -> int:
         arrival_burst=args.arrival_burst,
         coalesce=not args.no_coalesce,
         record=False,
+        executor=args.executor,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
     )
     engine = ServiceEngine(
         graph, lambda g: create(args.algorithm, g, seed=args.seed), config
@@ -273,6 +323,25 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTOR_BACKENDS),
+        default=None,
+        help="parallel execution backend for materialization: 'serial' "
+        "(plan pipeline, inline), 'thread' (shared-memory threads) or "
+        "'process' (multi-core workers attached to a shared-memory CSR "
+        "export); answers and probe accounting are identical to the "
+        "in-process engine. Default: in-process (no executor)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --executor (default: CPU count)",
+    )
+
+
 def _add_query_mode_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--query-mode",
@@ -314,6 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_mode_option(query)
     query.set_defaults(handler=cmd_query)
 
+    materialize = sub.add_parser(
+        "materialize",
+        help="query every edge and report (optionally export) the spanner",
+    )
+    _add_graph_options(materialize)
+    materialize.add_argument("--algorithm", default="spanner3")
+    materialize.add_argument(
+        "--out", help="also write the spanner as an edge-list file"
+    )
+    _add_query_mode_option(materialize)
+    _add_executor_options(materialize)
+    materialize.set_defaults(handler=cmd_materialize)
+
     evaluate = sub.add_parser("evaluate", help="materialize and verify an LCA")
     _add_graph_options(evaluate)
     evaluate.add_argument("--algorithm", default="spanner3")
@@ -324,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify stretch on a sample of edges instead of all of them",
     )
     _add_query_mode_option(evaluate)
+    _add_executor_options(evaluate)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     sweep = sub.add_parser("sweep", help="size/probe scaling sweep")
@@ -380,6 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-coalesce", action="store_true",
         help="serve request-by-request instead of coalescing batches per shard",
+    )
+    serve.add_argument(
+        "--executor", choices=sorted(PINNED_BACKENDS), default="serial",
+        help="shard-worker backend: 'serial' (inline, reference) or "
+        "'thread' (one dedicated worker per shard; shards execute "
+        "concurrently). Answers and probe totals are identical",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-thread cap for --executor thread (default: one per shard)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=1,
+        help="dispatched-but-uncompleted batch limit (pipelining depth)",
     )
     serve.add_argument("--json", help="also write the full report to this JSON file")
     serve.set_defaults(handler=cmd_serve_bench)

@@ -45,10 +45,80 @@ LCA, so state is reused across queries *and* across materializations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Tuple
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, Hashable, Optional, Tuple
 
 from ..graphs.graph import Graph, Vertex
+
+#: Leaf types allowed inside a *portable* memo namespace (see
+#: :func:`is_portable_namespace`).
+_PORTABLE_LEAVES = (str, int, float, bool, type(None), bytes)
+
+
+def is_portable_namespace(namespace: Hashable) -> bool:
+    """Whether a memo namespace survives a process boundary.
+
+    Portable namespaces are built only from primitives (and tuples thereof,
+    plus frozen dataclasses such as :class:`~repro.core.seed.Seed` or the
+    parameter objects, which compare by value): equal on both sides of a
+    pickle round trip, so per-worker memo tables under them can be folded
+    back into the coordinator's cache.  Namespaces keyed by live objects
+    (the ``(system_object, role)`` convention for per-vertex derived state)
+    are process-local by construction and are excluded from snapshots.
+    """
+    if isinstance(namespace, bool):  # bool before int for clarity; both fine
+        return True
+    if isinstance(namespace, _PORTABLE_LEAVES):
+        return True
+    if isinstance(namespace, tuple):
+        return all(is_portable_namespace(item) for item in namespace)
+    # Frozen dataclasses (Seed, *Params) hash/compare by value and pickle
+    # cleanly; detect them structurally instead of importing every type.
+    params = getattr(namespace, "__dataclass_params__", None)
+    if params is not None and params.frozen:
+        fields = getattr(namespace, "__dataclass_fields__", {})
+        return all(
+            is_portable_namespace(getattr(namespace, name)) for name in fields
+        )
+    return False
+
+
+@dataclass
+class CacheSnapshot:
+    """Portable slice of an :class:`OracleCache` (picklable, mergeable).
+
+    Contains the hit/miss statistics plus every memo table whose namespace
+    is portable (:func:`is_portable_namespace`) — in practice the
+    query-answer memo, whose values ``(answer, cold ProbeSnapshot)`` are pure
+    functions of ``(graph, seed, query)``.  Because the values are pure,
+    merging snapshots from any number of workers in any order produces the
+    same cache: a fold is deterministic by construction.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    memos: Dict[Hashable, dict] = field(default_factory=dict)
+
+    @property
+    def entries(self) -> int:
+        return sum(len(table) for table in self.memos.values())
+
+
+@dataclass
+class SnapshotCursor:
+    """Progress marker for incremental snapshots (see :meth:`OracleCache.snapshot`).
+
+    Remembers how much state an earlier snapshot already exported — the
+    stats counters and the per-namespace entry counts — so the next
+    snapshot through the same cursor carries only the delta.  Memo tables
+    are append-only (entries are pure values, never invalidated), so "the
+    first ``n`` items are already exported" is a complete description.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    counts: Dict[Hashable, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -126,6 +196,66 @@ class OracleCache:
     def memo_sizes(self) -> Dict[str, int]:
         """Entry counts per memo namespace (debugging / reporting)."""
         return {repr(namespace): len(table) for namespace, table in self._memos.items()}
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / merge (the parallel-execution fold-back protocol)
+    # ------------------------------------------------------------------ #
+    def snapshot(self, since: Optional[SnapshotCursor] = None) -> CacheSnapshot:
+        """Export the portable slice of this cache (see :class:`CacheSnapshot`).
+
+        Only memo tables under portable namespaces are included; per-vertex
+        derived state keyed by live system objects stays local.  Tables are
+        shallow-copied so the snapshot is stable under further queries.
+
+        With ``since`` (a :class:`SnapshotCursor`, updated in place) only
+        the state added after the cursor's last use is exported — chunk
+        workers use this so repeated snapshots never re-ship or double-count
+        already-exported entries and statistics.
+        """
+        if since is None:
+            return CacheSnapshot(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                memos={
+                    namespace: dict(table)
+                    for namespace, table in self._memos.items()
+                    if table and is_portable_namespace(namespace)
+                },
+            )
+        memos: Dict[Hashable, dict] = {}
+        for namespace, table in self._memos.items():
+            if not table or not is_portable_namespace(namespace):
+                continue
+            exported = since.counts.get(namespace, 0)
+            if len(table) > exported:
+                # Memo tables are append-only dicts; insertion order makes
+                # "everything after the first `exported` items" the delta.
+                memos[namespace] = dict(islice(table.items(), exported, None))
+            since.counts[namespace] = len(table)
+        snapshot = CacheSnapshot(
+            hits=self.stats.hits - since.hits,
+            misses=self.stats.misses - since.misses,
+            memos=memos,
+        )
+        since.hits = self.stats.hits
+        since.misses = self.stats.misses
+        return snapshot
+
+    def merge(self, snapshot: CacheSnapshot) -> None:
+        """Fold a worker's portable cache slice into this cache.
+
+        Memoized values under a portable namespace are pure functions of
+        ``(graph, seed, key)``, so entries present on both sides are equal
+        and first-write-wins merging is deterministic regardless of worker
+        scheduling.  Hit/miss statistics accumulate (telemetry only —
+        answers and probe accounting never depend on them).
+        """
+        self.stats.hits += snapshot.hits
+        self.stats.misses += snapshot.misses
+        for namespace, table in snapshot.memos.items():
+            own = self.memo(namespace)
+            for key, value in table.items():
+                own.setdefault(key, value)
 
     def clear(self) -> None:
         """Drop all memoized state (answers are unaffected; only speed is)."""

@@ -53,6 +53,23 @@ def _check_mode(mode: str) -> str:
 
 
 @dataclass
+class LCASpec:
+    """Picklable recipe for rebuilding an LCA in another process.
+
+    An LCA is a pure function of ``(graph, seed, params)``; this spec carries
+    the non-graph part — the registry ``algorithm`` name, the integer seed
+    value and the keyword arguments (parameter dataclasses are frozen and
+    picklable) — so a worker holding a graph handle can reconstruct an
+    instance that answers (and charges probes) identically.  Produced by
+    :meth:`SpannerLCA.executor_spec`; consumed by :mod:`repro.exec`.
+    """
+
+    algorithm: str
+    seed: int
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
 class EdgeQueryResult:
     """Outcome of a single LCA query."""
 
@@ -185,6 +202,44 @@ class SpannerLCA(abc.ABC):
             self._cached_oracle = CachedOracle(self._graph, self._counter)
         return self._cached_oracle
 
+    def ensure_cached_oracle(self) -> CachedOracle:
+        """The LCA's cached oracle, created on first use.
+
+        Public handle for the execution plane: chunk workers snapshot its
+        portable state and the coordinator merges those snapshots back.
+        """
+        return self._oracle_for("cached")  # type: ignore[return-value]
+
+    def query_answer_namespace(self) -> Tuple:
+        """The memo namespace of the whole-query-answer cache.
+
+        Built from values only (name, seed, parameters) — never from live
+        objects — so it is *portable*: a worker process reconstructing this
+        LCA from its :meth:`executor_spec` produces the same namespace, and
+        its memoized answers fold back into the coordinator's cache through
+        the :meth:`~repro.core.oracle.CachedOracle.merge_state` protocol.
+        """
+        return (
+            "query-answer",
+            self.name,
+            self._seed.value,
+            getattr(self, "params", None),
+        )
+
+    def executor_spec(self) -> LCASpec:
+        """The picklable rebuild recipe used by the parallel executors.
+
+        The default covers every registered construction whose identity is
+        ``(registry name, seed, params)``; subclasses with extra
+        answer-or-accounting-relevant state must override and extend
+        ``kwargs`` (see ``KSquaredSpannerLCA.executor_spec``).
+        """
+        kwargs: Dict[str, object] = {}
+        params = getattr(self, "params", None)
+        if params is not None:
+            kwargs["params"] = params
+        return LCASpec(algorithm=self.name, seed=self._seed.value, kwargs=kwargs)
+
     def query(self, u: int, v: int) -> bool:
         """Answer "is ``(u, v)`` in the spanner?" for an edge of ``G``."""
         return self.query_with_stats(u, v).in_spanner
@@ -238,7 +293,7 @@ class SpannerLCA(abc.ABC):
         totals: List[int] = []
         own_totals = self.probe_stats.query_totals
         memoized = oracle.memoized
-        namespace = (self, "query-answer")
+        namespace = self.query_answer_namespace()
         before = counter.total
         for (u, v) in edges:
             if validate and not has_edge(u, v):
@@ -259,7 +314,11 @@ class SpannerLCA(abc.ABC):
     # Global materialization (verification bridge)
     # ------------------------------------------------------------------ #
     def materialize(
-        self, edges: Optional[Iterable[Edge]] = None, mode: Optional[str] = None
+        self,
+        edges: Optional[Iterable[Edge]] = None,
+        mode: Optional[str] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> MaterializedSpanner:
         """Query every edge (or the given subset) and collect the spanner.
 
@@ -273,7 +332,28 @@ class SpannerLCA(abc.ABC):
         memo) or "batched" (the streaming engine of
         :meth:`_materialize_batched`).  Edges, per-query probe totals and
         per-kind probe counts are identical across modes.
+
+        ``executor`` selects a parallel execution backend ("serial",
+        "thread" or "process", see :mod:`repro.exec`) running ``workers``
+        workers: the edge list is split into contiguous chunks, each chunk is
+        executed against a worker-local rebuild of this LCA (process workers
+        attach to a shared-memory CSR export of the graph instead of
+        unpickling it), and edges, per-query probe totals and per-kind probe
+        counts fold back bit-identical to the serial engine — every query
+        charges its cold-cache probe schedule no matter which worker ran it.
+        ``executor=None`` (default) keeps the in-process engine above.
         """
+        if executor is not None:
+            if mode not in (None, "batched"):
+                raise ValueError(
+                    "parallel materialization always runs the batched engine; "
+                    f"drop mode={mode!r} or drop executor="
+                )
+            from ..exec import materialize_parallel
+
+            return materialize_parallel(
+                self, edges=edges, executor=executor, workers=workers
+            )
         mode = _check_mode(self._query_mode if mode is None else mode)
         result = MaterializedSpanner(
             algorithm=self.name, stretch_bound=self.stretch_bound(), edges=set()

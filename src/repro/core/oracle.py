@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence
 
-from .cache import OracleCache
+from .cache import CacheSnapshot, OracleCache, SnapshotCursor
 from .probes import ADJACENCY, DEGREE, NEIGHBOR, ProbeCounter, ProbeSnapshot
 from ..graphs.graph import Graph, Vertex
 
@@ -255,6 +255,31 @@ class CachedOracle(AdjacencyListOracle):
         value = compute()
         table[key] = (value, self.counter.snapshot() - before)
         return value
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / merge (parallel-execution fold-back)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(
+        self, since: Optional[SnapshotCursor] = None
+    ) -> CacheSnapshot:
+        """Export the portable memo state (picklable; see :class:`CacheSnapshot`).
+
+        Every exported entry carries its measured cold-schedule probe cost,
+        so a receiver that merges the snapshot keeps charging exactly the
+        cold schedule on later hits — per-query probe accounting is
+        unchanged by where a value was first computed.  ``since`` (a
+        :class:`~repro.core.cache.SnapshotCursor`) makes repeated exports
+        incremental.
+        """
+        return self.cache.snapshot(since)
+
+    def merge_state(self, snapshot: CacheSnapshot) -> None:
+        """Fold a worker's portable memo state into this oracle's cache.
+
+        Deterministic regardless of merge order (values are pure functions
+        of ``(graph, seed, key)``); never touches the probe counter.
+        """
+        self.cache.merge(snapshot)
 
 
 class SubgraphOracle(AdjacencyListOracle):

@@ -1,0 +1,66 @@
+"""Parallel execution plane: pluggable executor backends for query batches.
+
+The LCA model makes every ``(u, v) ∈ spanner?`` answer a pure function of
+``(graph, seed, query)`` — the textbook embarrassingly-parallel workload.
+This package turns that freedom into an execution plane the rest of the
+library routes through:
+
+* :mod:`repro.exec.backends` — the ``serial`` / ``thread`` / ``process``
+  :class:`ExecutorBackend` trio plus :class:`PinnedWorkers` (key-affine
+  futures for the sharded service);
+* :mod:`repro.exec.plan` — picklable :class:`ChunkPlan`s (graph handle +
+  LCA spec + edge slice) and the worker-side :func:`execute_chunk` step;
+* :mod:`repro.exec.parallel` — :func:`materialize_parallel`, the
+  plan/scatter/fold-back coordinator behind
+  ``SpannerLCA.materialize(executor=...)``.
+
+Process workers never unpickle the graph: they attach to a shared-memory CSR
+export (:meth:`repro.graphs.CSRGraph.to_shared`).  Answers, per-query probe
+totals and per-kind probe counts are bit-identical across backends and
+worker counts — the cold-schedule accounting contract makes probe charges
+independent of where (and next to which cache) a query runs.
+"""
+
+from .backends import (
+    EXECUTOR_BACKENDS,
+    PINNED_BACKENDS,
+    ExecutorBackend,
+    PinnedWorkers,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    check_backend,
+    get_executor,
+    resolve_workers,
+)
+from .plan import (
+    CHUNKS_PER_WORKER,
+    ChunkPlan,
+    ChunkResult,
+    InlineGraphRef,
+    SharedGraphRef,
+    build_chunk_plans,
+    execute_chunk,
+)
+from .parallel import materialize_parallel
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "PINNED_BACKENDS",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "PinnedWorkers",
+    "check_backend",
+    "get_executor",
+    "resolve_workers",
+    "ChunkPlan",
+    "ChunkResult",
+    "CHUNKS_PER_WORKER",
+    "InlineGraphRef",
+    "SharedGraphRef",
+    "build_chunk_plans",
+    "execute_chunk",
+    "materialize_parallel",
+]

@@ -1,0 +1,111 @@
+"""Coordinator side of parallel materialization: plan, scatter, fold back.
+
+:func:`materialize_parallel` is the engine behind
+``SpannerLCA.materialize(executor=...)``:
+
+1. **Plan** — snapshot the LCA's rebuild spec, collect and validate the edge
+   list, split it into balanced contiguous chunks.
+2. **Scatter** — hand every chunk to the chosen backend.  For the process
+   backend the graph is exported to shared memory first (one copy, attached
+   by every worker); serial/thread workers share the graph object directly.
+3. **Fold back** — reassemble answers in chunk order (deterministic: chunk
+   *i* covers a fixed slice), append per-query probe totals, re-charge the
+   per-kind probe deltas on the coordinator's counter, and merge each
+   worker's portable memo snapshot into the coordinator's cached oracle so
+   later queries hit warm state.
+
+The fold preserves the repo's central equivalence: spanner edges, per-query
+probe totals and per-kind probe counts are bit-identical to the serial
+engine for every backend and any worker count, because each query charges
+its cold-cache probe schedule wherever it runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.errors import NotAnEdgeError
+from ..core.ids import canonical_edge
+from ..core.lca import MaterializedSpanner, SpannerLCA
+from ..core.probes import ADJACENCY, DEGREE, NEIGHBOR
+from .backends import check_backend, get_executor, resolve_workers
+from .plan import (
+    InlineGraphRef,
+    SharedGraphRef,
+    build_chunk_plans,
+    clear_worker_slot,
+    execute_chunk,
+    next_run_token,
+)
+
+Edge = Tuple[int, int]
+
+
+def materialize_parallel(
+    lca: SpannerLCA,
+    edges: Optional[Iterable[Edge]] = None,
+    executor: str = "process",
+    workers: Optional[int] = None,
+) -> MaterializedSpanner:
+    """Materialize an LCA across an executor backend (see module docstring)."""
+    check_backend(executor)
+    worker_count = resolve_workers(workers, executor)
+    graph = lca.graph
+    if edges is None:
+        edge_list: List[Edge] = list(graph.edges())
+    else:
+        edge_list = [(int(u), int(v)) for (u, v) in edges]
+        for (u, v) in edge_list:
+            if not graph.has_edge(u, v):
+                raise NotAnEdgeError(u, v)
+
+    result = MaterializedSpanner(
+        algorithm=lca.name, stretch_bound=lca.stretch_bound(), edges=set()
+    )
+    if not edge_list:
+        return result
+
+    spec = lca.executor_spec()
+    shared_export = None
+    try:
+        if executor == "process":
+            # One copy into shared memory; every worker maps it read-only.
+            shared_export = graph.to_backend("csr").to_shared()
+            graph_ref = SharedGraphRef(shared_export.handle)
+        else:
+            graph_ref = InlineGraphRef(graph, token=next_run_token())
+        plans = build_chunk_plans(graph_ref, spec, edge_list, worker_count)
+        backend = get_executor(executor, worker_count)
+        chunks = backend.map_ordered(execute_chunk, plans)
+    finally:
+        if shared_export is not None:
+            shared_export.close()
+        if executor == "serial":
+            # Serial chunks ran on this very thread; drop the worker slot so
+            # the rebuilt LCA (a full copy of the memo state) is not kept
+            # alive past the run.  Pool-backed workers die with their pool.
+            clear_worker_slot()
+
+    # ---- fold back, in chunk order (== original edge order) --------------
+    counter = lca.probe_counter
+    oracle = lca.ensure_cached_oracle()
+    totals = result.probe_stats.query_totals
+    own_totals = lca.probe_stats.query_totals
+    keep = result.edges
+    for plan, chunk in zip(plans, chunks):
+        for (u, v), answer, total in zip(
+            plan.edges, chunk.answers, chunk.probe_totals
+        ):
+            totals.append(total)
+            own_totals.append(total)
+            if answer:
+                keep.add(canonical_edge(u, v))
+        delta = chunk.probes
+        if delta.degree:
+            counter.record(DEGREE, delta.degree)
+        if delta.neighbor:
+            counter.record(NEIGHBOR, delta.neighbor)
+        if delta.adjacency:
+            counter.record(ADJACENCY, delta.adjacency)
+        oracle.merge_state(chunk.cache)
+    return result

@@ -362,6 +362,15 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
+    @classmethod
+    def _builder_class(cls) -> type:
+        """The class used to build derived graphs (subgraphs).
+
+        Views over external storage (e.g. shared-memory attachments) override
+        this to build ordinary self-owned graphs instead of new views.
+        """
+        return cls
+
     def subgraph_with_edges(self, edges: Iterable[Edge]) -> "Graph":
         """Return the spanning subgraph containing all vertices of this graph
         and only the given edges (each of which must exist in this graph).
@@ -379,7 +388,7 @@ class Graph:
             seen.add(key)
             adjacency[u].append(v)
             adjacency[v].append(u)
-        return type(self)(adjacency, validate=False)
+        return self._builder_class()(adjacency, validate=False)
 
     def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
         """Return the subgraph induced by the given vertex set.
@@ -391,7 +400,7 @@ class Graph:
             for v in self.vertices()
             if v in keep
         }
-        return type(self)(adjacency, validate=False)
+        return self._builder_class()(adjacency, validate=False)
 
     # ------------------------------------------------------------------ #
     # Internals

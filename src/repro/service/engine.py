@@ -1,4 +1,4 @@
-"""Request scheduler: bounded queue, admission control, batch coalescing.
+"""Request scheduler: bounded queue, admission control, concurrent shards.
 
 The engine turns a :class:`~repro.service.workload.Workload` (an open-loop
 arrival stream) into served answers through a
@@ -9,25 +9,47 @@ arrival stream) into served answers through a
    edges of ``G`` and requests arriving while the queue is at
    ``max_queue_depth`` are rejected (counted, never served).  Admitted
    requests are stamped with their arrival time.
-2. **Dispatch** — pop up to ``batch_size`` requests (FIFO).  With
-   ``coalesce=True`` the batch is routed as a group: the router partitions
-   it by owning shard and each shard streams its sub-batch through the
-   :meth:`~repro.core.lca.SpannerLCA.query_batch` fast path.  With
-   ``coalesce=False`` every request is dispatched individually through the
-   pre-existing per-query API — the unbatched baseline.
-3. **Complete** — stamp completion, record per-request latency
-   (completion − arrival, so queueing delay is included), feed answers back
-   to the workload (the adaptive kind steers on them), and accumulate
-   telemetry.
+2. **Dispatch** — pop up to ``batch_size`` requests (FIFO) and submit the
+   batch to the shard workers as futures.  With ``coalesce=True`` the
+   router partitions the batch by owning shard and each shard group becomes
+   one future on that shard's pinned worker — with the ``thread`` executor
+   the groups execute *concurrently*, one worker per shard, while each
+   shard's memo state stays single-threaded.  With ``coalesce=False`` every
+   request is its own future on its owner's worker (the unbatched
+   baseline).  Up to ``max_inflight`` dispatched batches may be in flight
+   before the engine waits on the oldest.
+3. **Complete** — resolve the oldest batch's futures, stamp completion,
+   record per-request latency (completion − arrival, so queueing delay is
+   included), feed answers back to the workload (the adaptive kind steers
+   on them), and accumulate telemetry.  Batches complete in dispatch order,
+   so the request log is deterministic for a given stream regardless of the
+   executor.
 
 Setting ``arrival_burst > batch_size`` models an overloaded ingress: the
 queue fills, admission control starts shedding, and the latency percentiles
-show the queueing delay — the knobs a load-shedding study needs.
+show the queueing delay — the knobs a load-shedding study needs.  The
+admission *rule* (reject non-edges; reject at ``max_queue_depth``) never
+changes, and the *executor* is invisible to it: for a fixed
+``max_inflight`` the queue passes through exactly the same states whether
+shards run inline or on worker threads.  ``max_inflight`` itself, however,
+is a scheduling knob like ``batch_size``: a deeper pipeline pops more
+batches per cycle, so under overload the queue sits lower and fewer
+arrivals are shed — deterministically, but not identically to depth 1.
 
 Everything is deterministic given (graph, seed, workload): answers are pure
-functions of ``(graph, seed, query)``, so scheduling, sharding and batching
-can only change *wall-clock* numbers, never answers or per-request probe
-totals.  ``tests/test_service_equivalence.py`` pins exactly that.
+functions of ``(graph, seed, query)``, so scheduling, sharding, batching and
+the executor can only change *wall-clock* numbers, never answers or
+per-request probe totals.  (One scheduling-visible caveat: with
+``max_inflight > 1`` the *adaptive* workload sees answer feedback one batch
+later than it would serially, which steers its stream differently — still
+deterministically.  Open-loop kinds are unaffected.)
+``tests/test_service_equivalence.py`` and ``tests/test_service_parallel.py``
+pin exactly that.
+
+Every timestamp the engine records flows through the injected ``clock``
+(arrival stamps, completion stamps, run duration) — no code path reads
+``time.perf_counter`` directly once a clock is supplied, so latency tests
+run on fully deterministic synthetic clocks.
 """
 
 from __future__ import annotations
@@ -35,10 +57,11 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, NamedTuple, Optional, Tuple
+from typing import Callable, Deque, List, NamedTuple, Optional, Tuple
 
 from ..core.lca import SpannerLCA
 from ..core.probes import ProbeStatistics
+from ..exec import PINNED_BACKENDS, PinnedWorkers
 from ..graphs.graph import Graph
 from .metrics import LatencyStats, ServiceReport
 from .shards import ROUTING_POLICIES, ShardedOraclePool
@@ -65,6 +88,18 @@ class ServiceConfig:
     #: Keep a per-request :class:`RequestRecord` log on the engine
     #: (equivalence tests replay it; disable for pure throughput runs).
     record: bool = True
+    #: Shard-worker backend: "serial" executes submissions inline (the
+    #: reference path), "thread" gives every shard a dedicated worker thread
+    #: so shard groups of a batch execute concurrently.
+    executor: str = "serial"
+    #: Worker-thread cap for the "thread" executor (default: one per shard).
+    #: Fewer workers than shards pin several shards to one thread — each
+    #: shard still executes single-threaded.
+    workers: Optional[int] = None
+    #: Dispatched-but-uncompleted batch limit (pipelining depth).  1 keeps
+    #: the classic dispatch→complete lockstep; higher values overlap batch
+    #: N+1's dispatch with batch N's execution on threaded workers.
+    max_inflight: int = 1
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -79,6 +114,17 @@ class ServiceConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.arrival_burst is not None and self.arrival_burst < 1:
             raise ValueError("arrival_burst must be >= 1")
+        if self.executor not in PINNED_BACKENDS:
+            raise ValueError(
+                f"unknown service executor {self.executor!r}; "
+                f"choices: {PINNED_BACKENDS} (shard memo state lives "
+                "in-process, so the service runs on serial or thread workers; "
+                "the process backend applies to offline materialization)"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
 
     @property
     def effective_burst(self) -> int:
@@ -101,6 +147,13 @@ class _Pending(NamedTuple):
     u: int
     v: int
     arrival_s: float
+
+
+class _InflightBatch(NamedTuple):
+    """A dispatched batch: its requests plus one future per shard group."""
+
+    requests: List[_Pending]
+    parts: List[Tuple[object, List[int]]]  # (future, batch positions)
 
 
 class ServiceEngine:
@@ -138,17 +191,22 @@ class ServiceEngine:
     def run(self, workload: Workload, clock=time.perf_counter) -> ServiceReport:
         """Serve the whole workload; returns the telemetry report.
 
-        ``clock`` is injectable for tests; it must be monotone.
+        ``clock`` is injectable for tests; it must be monotone.  All
+        recorded timestamps (arrival, completion, duration) come from it.
         """
         config = self.config
         pool = self.pool
+        shards = pool.shards
+        router = pool.router
         has_edge = self.graph.has_edge
         burst = config.effective_burst
         batch_size = config.batch_size
         depth_limit = config.max_queue_depth
         coalesce = config.coalesce
+        max_inflight = config.max_inflight
 
-        queue: deque = deque()
+        queue: Deque[_Pending] = deque()
+        inflight: Deque[_InflightBatch] = deque()
         records: List[RequestRecord] = []
         self.records = records
         latency = LatencyStats()
@@ -163,64 +221,109 @@ class ServiceEngine:
         shard_baseline = pool.telemetry()
 
         started = clock()
-        while not exhausted or queue:
-            # ---- ingest: up to `burst` arrivals through admission control
-            arrivals = 0
-            while arrivals < burst and not exhausted:
-                edge = workload.next_request()
-                if edge is None:
-                    exhausted = True
-                    break
-                arrivals += 1
-                offered += 1
-                u, v = edge
-                if not has_edge(u, v):
-                    invalid += 1
-                    rejected += 1
-                    continue
-                if len(queue) >= depth_limit:
-                    rejected += 1
-                    continue
-                seq += 1
-                queue.append(_Pending(seq, u, v, clock()))
-                admitted += 1
-            if len(queue) > max_depth_seen:
-                max_depth_seen = len(queue)
-            if not queue:
-                continue
+        with PinnedWorkers(
+            pool.num_shards, config.executor, config.workers
+        ) as workers:
+            while not exhausted or queue or inflight:
+                # ---- ingest: up to `burst` arrivals through admission control
+                arrivals = 0
+                while arrivals < burst and not exhausted:
+                    edge = workload.next_request()
+                    if edge is None:
+                        exhausted = True
+                        break
+                    arrivals += 1
+                    offered += 1
+                    u, v = edge
+                    if not has_edge(u, v):
+                        invalid += 1
+                        rejected += 1
+                        continue
+                    if len(queue) >= depth_limit:
+                        rejected += 1
+                        continue
+                    seq += 1
+                    queue.append(_Pending(seq, u, v, clock()))
+                    admitted += 1
+                if len(queue) > max_depth_seen:
+                    max_depth_seen = len(queue)
 
-            # ---- dispatch: pop one FIFO batch and serve it
-            take = min(batch_size, len(queue))
-            batch = [queue.popleft() for _ in range(take)]
-            batches += 1
-            if coalesce:
-                answers = pool.serve_grouped(
-                    [(req.u, req.v) for req in batch], validate=False
-                )
-                done = clock()
-                completions = [
-                    (req, answer, probes, done)
-                    for req, (answer, probes) in zip(batch, answers)
-                ]
-            else:
-                completions = []
-                for req in batch:
-                    answer, probes = pool.serve_one(req.u, req.v)
-                    completions.append((req, answer, probes, clock()))
+                # ---- dispatch: submit FIFO batches up to the in-flight bound
+                while queue and len(inflight) < max_inflight:
+                    take = min(batch_size, len(queue))
+                    batch = [queue.popleft() for _ in range(take)]
+                    batches += 1
+                    if coalesce:
+                        parts = [
+                            (
+                                workers.submit(
+                                    shard_id,
+                                    shards[shard_id].serve_batch,
+                                    group,
+                                    False,
+                                ),
+                                positions,
+                            )
+                            for shard_id, group, positions in pool.partition(
+                                [(req.u, req.v) for req in batch]
+                            )
+                        ]
+                    else:
+                        parts = []
+                        for position, req in enumerate(batch):
+                            shard_id = router.shard_of_edge(req.u, req.v)
+                            parts.append(
+                                (
+                                    workers.submit(
+                                        shard_id,
+                                        shards[shard_id].serve_one,
+                                        req.u,
+                                        req.v,
+                                    ),
+                                    [position],
+                                )
+                            )
+                    inflight.append(_InflightBatch(batch, parts))
 
-            # ---- complete: telemetry + feedback, in request order
-            for req, answer, probes, done in completions:
-                served += 1
-                if answer:
-                    in_spanner += 1
-                elapsed = done - req.arrival_s
-                latency.add(elapsed)
-                probe_stats.add(probes)
-                workload.observe((req.u, req.v), answer)
-                if config.record:
-                    records.append(
-                        RequestRecord(req.seq, req.u, req.v, answer, probes, elapsed)
-                    )
+                # ---- complete: resolve the oldest batch, in dispatch order
+                if inflight and (
+                    len(inflight) >= max_inflight or (exhausted and not queue)
+                ):
+                    batch, parts = inflight.popleft()
+                    outcomes: List[Tuple[bool, int]] = [None] * len(batch)  # type: ignore[list-item]
+                    stamps: List[float] = [0.0] * len(batch)
+                    if coalesce:
+                        # A coalesced batch completes as a unit: one stamp
+                        # once every shard group has resolved.
+                        for future, positions in parts:
+                            result = future.result()
+                            for position, answer, total in zip(
+                                positions, result.answers, result.probe_totals
+                            ):
+                                outcomes[position] = (answer, total)
+                        done = clock()
+                        stamps = [done] * len(batch)
+                    else:
+                        # The unbatched baseline stamps each request as its
+                        # own future resolves (in batch order), preserving
+                        # the classic per-request completion times.
+                        for future, positions in parts:
+                            outcomes[positions[0]] = future.result()
+                            stamps[positions[0]] = clock()
+                    for req, (answer, probes), done in zip(batch, outcomes, stamps):
+                        served += 1
+                        if answer:
+                            in_spanner += 1
+                        elapsed = done - req.arrival_s
+                        latency.add(elapsed)
+                        probe_stats.add(probes)
+                        workload.observe((req.u, req.v), answer)
+                        if config.record:
+                            records.append(
+                                RequestRecord(
+                                    req.seq, req.u, req.v, answer, probes, elapsed
+                                )
+                            )
         duration = clock() - started
 
         report = ServiceReport(
@@ -241,6 +344,8 @@ class ServiceEngine:
             latency=latency,
             probe_stats=probe_stats,
             shard_reports=pool.reports(since=shard_baseline),
+            executor=config.executor,
+            max_inflight=max_inflight,
         )
         if invalid:
             report.extras["invalid_requests"] = invalid

@@ -83,6 +83,8 @@ class ServiceReport:
     latency: LatencyStats
     probe_stats: ProbeStatistics
     shard_reports: List[ShardReport] = field(default_factory=list)
+    executor: str = "serial"        # shard-worker backend of the run
+    max_inflight: int = 1           # batch pipelining depth of the run
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -137,6 +139,8 @@ class ServiceReport:
             "routing": self.routing,
             "batch_size": self.batch_size,
             "coalesced": self.coalesced,
+            "executor": self.executor,
+            "max_inflight": self.max_inflight,
             "offered": self.offered,
             "admitted": self.admitted,
             "rejected": self.rejected,

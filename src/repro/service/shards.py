@@ -17,6 +17,14 @@ ever materialized on the one shard that owns the vertex, so memory scales
 down per shard and shards never contend on shared mutable state — the layout
 a real multi-process deployment would use.
 
+That no-shared-state layout is also what lets shards *execute* concurrently:
+the request engine pins every shard to one dedicated worker
+(:class:`repro.exec.PinnedWorkers`), so a shard's memo state is only ever
+touched from a single thread while distinct shards overlap.  Answers and
+per-request probe totals are identical either way — the engine's equivalence
+tests pin serial and threaded serving against the same single-oracle
+baseline.
+
 Routing policies
 ----------------
 ``hash``
@@ -245,18 +253,18 @@ class ShardedOraclePool:
         """Route and serve a single request (the unbatched path)."""
         return self.shard_for(u, v).serve_one(u, v)
 
-    def serve_grouped(
-        self, edges: Sequence[Edge], validate: bool = True
-    ) -> List[Tuple[bool, int]]:
-        """Route a coalesced batch: group by shard, stream each group.
+    def partition(
+        self, edges: Sequence[Edge]
+    ) -> List[Tuple[int, List[Edge], List[int]]]:
+        """Split a batch by owning shard in one routing pass.
 
-        Returns one ``(answer, probe_total)`` per input edge, in input
-        order, regardless of how the batch was split across shards.
+        Returns ``(shard_id, group_edges, batch_positions)`` triples in
+        first-seen shard order (deterministic for a given batch); the
+        positions let per-shard results scatter straight back into batch
+        order.  This is the routing half of :meth:`serve_grouped`, exposed
+        separately so the request engine can submit each group to its
+        shard's worker as an independent future.
         """
-        if not edges:
-            return []
-        # Single routing pass: remember each edge's batch position so the
-        # per-shard results scatter straight back into batch order.
         shard_of = self.router.shard_of_edge
         groups: Dict[int, List[Edge]] = {}
         slots: Dict[int, List[int]] = {}
@@ -268,11 +276,26 @@ class ShardedOraclePool:
             else:
                 groups[shard_id] = [(u, v)]
                 slots[shard_id] = [position]
+        return [
+            (shard_id, group, slots[shard_id])
+            for shard_id, group in groups.items()
+        ]
+
+    def serve_grouped(
+        self, edges: Sequence[Edge], validate: bool = True
+    ) -> List[Tuple[bool, int]]:
+        """Route a coalesced batch: group by shard, stream each group.
+
+        Returns one ``(answer, probe_total)`` per input edge, in input
+        order, regardless of how the batch was split across shards.
+        """
+        if not edges:
+            return []
         out: List[Tuple[bool, int]] = [None] * len(edges)  # type: ignore[list-item]
-        for shard_id, group in groups.items():
+        for shard_id, group, positions in self.partition(edges):
             result = self.shards[shard_id].serve_batch(group, validate=validate)
             for position, answer, total in zip(
-                slots[shard_id], result.answers, result.probe_totals
+                positions, result.answers, result.probe_totals
             ):
                 out[position] = (answer, total)
         return out

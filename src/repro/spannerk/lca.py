@@ -65,6 +65,7 @@ class KSquaredSpannerLCA(CombinedLCA):
                 hitting_constant=hitting_constant,
             )
         self.params = params
+        self.shared_cache = bool(shared_cache)
         self.randomness = KSquaredRandomness(seed.derive("spannerk"), params)
         cache = {} if shared_cache else None
 
@@ -86,6 +87,13 @@ class KSquaredSpannerLCA(CombinedLCA):
     def stretch_bound(self) -> Optional[int]:
         """The nominal O(k²) stretch (a w.h.p. guarantee, reported for tables)."""
         return self.params.nominal_stretch()
+
+    def executor_spec(self):
+        """Parallel rebuild recipe: ``shared_cache`` changes per-query probe
+        accounting (not answers), so worker rebuilds must preserve it."""
+        spec = super().executor_spec()
+        spec.kwargs["shared_cache"] = self.shared_cache
+        return spec
 
 
 @register("spannerk")

@@ -85,6 +85,66 @@ def test_evaluate_generated_graph(capsys):
     assert code == 0
 
 
+def test_materialize_command_reports_and_exports(graph_file, capsys, tmp_path):
+    out_path = tmp_path / "spanner.txt"
+    code = main(
+        ["materialize", "--graph", graph_file, "--algorithm", "spanner3",
+         "--seed", "4", "--out", str(out_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "materialization" in out
+    spanner = read_edge_list(out_path)
+    host = read_edge_list(graph_file)
+    assert spanner.num_vertices == host.num_vertices
+    assert 0 < spanner.num_edges <= host.num_edges
+
+
+def test_materialize_executor_output_matches_in_process(graph_file, capsys):
+    """--executor/--workers change wall-clock only; the report is identical
+    (modulo the executor column) across backends and worker counts."""
+    def run(extra):
+        assert main(
+            ["materialize", "--graph", graph_file, "--algorithm", "spanner3",
+             "--seed", "4", *extra]
+        ) == 0
+        rows = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("spanner3")
+        ]
+        # Drop the executor column: split on '|', remove the 5th field.
+        return [
+            "|".join(field for i, field in enumerate(line.split("|")) if i != 4)
+            for line in rows
+        ]
+
+    reference = run([])
+    for extra in (
+        ["--executor", "serial"],
+        ["--executor", "thread", "--workers", "2"],
+        ["--executor", "process", "--workers", "2"],
+    ):
+        assert run(extra) == reference, extra
+
+
+def test_materialize_rejects_executor_with_non_batched_mode(graph_file):
+    with pytest.raises(SystemExit, match="batched engine"):
+        main(
+            ["materialize", "--graph", graph_file, "--query-mode", "cold",
+             "--executor", "process"]
+        )
+
+
+def test_serve_bench_thread_executor_flags(graph_file, capsys):
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--requests", "120",
+         "--shards", "3", "--executor", "thread", "--workers", "2",
+         "--max-inflight", "2", "--seed", "4"]
+    )
+    assert code == 0
+    assert "Service run" in capsys.readouterr().out
+
+
 def test_sweep_command(capsys):
     code = main(
         ["sweep", "--algorithm", "spanner3", "--sizes", "40,80", "--queries", "15"]

@@ -1,0 +1,103 @@
+"""Property-based pin of ``nearest_rank_percentile``.
+
+The implementation uses explicit floor-based nearest-rank selection —
+``ordered[⌊q/100 · (N-1) + 1/2⌋]`` with half-up tie handling.  The oracle
+here derives the same fractional rank *independently* through
+``statistics.quantiles`` on the index space: for ``q = j/2`` percent, the
+``j``-th of 200 inclusive quantiles of ``range(N)`` is exactly the rank
+``(N-1)·j/200``, recovered exactly with ``Fraction.limit_denominator`` and
+resolved to an index with exact half-up rounding.  Agreement is checked on
+random sorted samples with ties, on the half-way tie ranks themselves, and
+on empty input.
+"""
+
+from __future__ import annotations
+
+import statistics
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probes import nearest_rank_percentile
+
+#: Percentiles with exact float representation of q/2: every j/2 for
+#: j = 0..200, which includes all the half-way tie ranks for N-1 ≤ 200.
+HALF_PERCENTS = [j / 2 for j in range(201)]
+
+
+def quantiles_oracle(ordered, q):
+    """Nearest-rank selection with the rank derived via statistics.quantiles."""
+    if not ordered:
+        return 0
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    j = round(q * 2)  # q is a multiple of 0.5 by construction
+    if j == 0:
+        rank = Fraction(0)
+    elif j == 200:
+        rank = Fraction(n - 1)
+    else:
+        # The j-th of 200 inclusive quantiles of 0..N-1 is (N-1)*j/200 up to
+        # float noise; limit_denominator snaps it back to the exact rational
+        # (true denominator ≤ 200).
+        positions = statistics.quantiles(range(n), n=200, method="inclusive")
+        rank = Fraction(positions[j - 1]).limit_denominator(10**6)
+        assert rank == Fraction((n - 1) * j, 200)
+    index = int(rank + Fraction(1, 2))  # exact half-up (floor of rank + 1/2)
+    return ordered[index]
+
+
+@settings(deadline=None, max_examples=300)
+@given(
+    data=st.lists(st.integers(min_value=-40, max_value=40), max_size=80),
+    q=st.sampled_from(HALF_PERCENTS),
+)
+def test_matches_statistics_quantiles_oracle(data, q):
+    ordered = sorted(data)
+    assert nearest_rank_percentile(ordered, q) == quantiles_oracle(ordered, q)
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    data=st.lists(
+        st.sampled_from([0, 1, 1, 2, 5]), min_size=1, max_size=40
+    ),  # heavy ties in *values*
+    q=st.sampled_from(HALF_PERCENTS),
+)
+def test_heavily_tied_values_still_select_an_element(data, q):
+    ordered = sorted(data)
+    result = nearest_rank_percentile(ordered, q)
+    assert result in ordered
+    assert result == quantiles_oracle(ordered, q)
+
+
+def test_tie_ranks_round_half_up():
+    # 26 elements: q=58 gives rank 0.58*25 = 14.5 → index 15 (half-up),
+    # the case banker's rounding would get wrong.
+    ordered = list(range(26))
+    assert nearest_rank_percentile(ordered, 58) == 15
+    assert quantiles_oracle(ordered, 58) == 15
+    # q=50 over an even count lands on a half rank too.
+    ordered = [1, 2, 3, 4]
+    assert nearest_rank_percentile(ordered, 50) == quantiles_oracle(ordered, 50) == 3
+
+
+def test_empty_input_and_domain_errors():
+    assert nearest_rank_percentile([], 50) == 0
+    assert quantiles_oracle([], 50) == 0
+    with pytest.raises(ValueError):
+        nearest_rank_percentile([1, 2], 101)
+    with pytest.raises(ValueError):
+        nearest_rank_percentile([1, 2], -0.5)
+
+
+@settings(deadline=None, max_examples=100)
+@given(data=st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=30))
+def test_endpoints_are_min_and_max(data):
+    ordered = sorted(data)
+    if ordered:
+        assert nearest_rank_percentile(ordered, 0) == ordered[0]
+        assert nearest_rank_percentile(ordered, 100) == ordered[-1]

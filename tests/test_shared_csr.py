@@ -1,0 +1,153 @@
+"""Shared-memory CSR export/attach: zero-copy, observationally identical.
+
+``CSRGraph.to_shared`` copies the flat CSR arrays into one shared-memory
+segment; ``SharedCSRHandle.attach`` maps them back as ``memoryview``s with
+no per-worker copy.  These tests pin the contract: the attached view exposes
+exactly the same probe-visible graph (orderings, degrees, adjacency
+indices), handles are tiny and picklable, the attached view itself refuses
+to pickle, and the segment lifecycle (owner unlinks, workers detach) works.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import graphs
+from repro.core.errors import GraphError
+from repro.core.registry import create
+from repro.graphs import CSRGraph, SharedCSRGraph, attach_shared_graph
+from repro.graphs.csr import SharedCSRHandle
+
+
+@pytest.fixture
+def csr_graph():
+    return graphs.gnp_graph(60, 0.2, seed=3).to_backend("csr")
+
+
+def test_attached_view_is_observationally_identical(csr_graph):
+    with csr_graph.to_shared() as export:
+        attached = attach_shared_graph(export.handle)
+        try:
+            assert attached.num_vertices == csr_graph.num_vertices
+            assert attached.num_edges == csr_graph.num_edges
+            assert attached.vertices() == csr_graph.vertices()
+            assert list(attached.edges()) == list(csr_graph.edges())
+            for v in csr_graph.vertices():
+                assert attached.degree(v) == csr_graph.degree(v)
+                assert attached.neighbors(v) == csr_graph.neighbors(v)
+                assert dict(attached.adjacency_row(v)) == dict(
+                    csr_graph.adjacency_row(v)
+                )
+            assert attached.max_degree() == csr_graph.max_degree()
+            assert attached.min_degree() == csr_graph.min_degree()
+        finally:
+            attached.detach()
+
+
+def test_materialization_on_attached_graph_is_bit_identical(csr_graph):
+    baseline = create("spanner3", csr_graph, seed=5).materialize(mode="batched")
+    with csr_graph.to_shared() as export:
+        with export.handle.attach() as attached:
+            mirrored = create("spanner3", attached, seed=5).materialize(
+                mode="batched"
+            )
+            assert mirrored.edges == baseline.edges
+            assert (
+                mirrored.probe_stats.query_totals
+                == baseline.probe_stats.query_totals
+            )
+
+
+def test_handle_is_tiny_and_picklable(csr_graph):
+    with csr_graph.to_shared() as export:
+        payload = pickle.dumps(export.handle)
+        assert len(payload) < 512  # O(1), not O(m)
+        clone = pickle.loads(payload)
+        assert clone == export.handle
+        attached = clone.attach()
+        try:
+            assert list(attached.edges()) == list(csr_graph.edges())
+        finally:
+            attached.detach()
+
+
+def test_attached_view_refuses_to_pickle(csr_graph):
+    with csr_graph.to_shared() as export:
+        attached = export.handle.attach()
+        try:
+            with pytest.raises(TypeError, match="SharedCSRHandle"):
+                pickle.dumps(attached)
+        finally:
+            attached.detach()
+
+
+def test_lifecycle_unlink_then_attach_fails(csr_graph):
+    export = csr_graph.to_shared()
+    handle = export.handle
+    attached = handle.attach()  # existing attachment survives the unlink
+    export.close()
+    export.close()  # idempotent
+    try:
+        assert list(attached.edges()) == list(csr_graph.edges())
+    finally:
+        attached.detach()
+    attached.detach()  # idempotent
+    with pytest.raises(FileNotFoundError):
+        handle.attach()
+
+
+def test_dict_backend_graphs_export_through_csr_conversion():
+    dict_graph = graphs.gnp_graph(40, 0.2, seed=7)
+    with dict_graph.to_backend("csr").to_shared() as export:
+        with export.handle.attach() as attached:
+            assert list(attached.edges()) == list(dict_graph.edges())
+            for v in dict_graph.vertices():
+                assert attached.neighbors(v) == dict_graph.neighbors(v)
+
+
+def test_non_contiguous_vertex_ids_round_trip():
+    ids = [10_000 + 7 * i for i in range(30)]
+    edges = [(ids[i], ids[(i + 1) % len(ids)]) for i in range(len(ids))]
+    host = CSRGraph.from_graph(graphs.Graph.from_edges(edges))
+    with host.to_shared() as export:
+        with export.handle.attach() as attached:
+            assert attached.vertices() == host.vertices()
+            assert list(attached.edges()) == list(host.edges())
+            assert attached.adjacency_index(ids[0], ids[1]) == (
+                host.adjacency_index(ids[0], ids[1])
+            )
+
+
+def test_derived_subgraphs_own_their_storage(csr_graph):
+    with csr_graph.to_shared() as export:
+        with export.handle.attach() as attached:
+            some = list(attached.vertices())[:12]
+            induced = attached.induced_subgraph(some)
+            assert type(induced) is CSRGraph
+            assert not isinstance(induced, SharedCSRGraph)
+            spanning = attached.subgraph_with_edges(list(attached.edges())[:5])
+            assert type(spanning) is CSRGraph
+        # Derived graphs stay valid after the view detaches.
+        assert induced.num_vertices == 12
+        assert spanning.num_edges == 5
+
+
+def test_ids_beyond_64_bits_are_rejected_with_a_clear_error():
+    huge = 2 ** 70
+    host = CSRGraph.from_graph(graphs.Graph.from_edges([(huge, huge + 1)]))
+    with pytest.raises(GraphError, match="64 bits"):
+        host.to_shared()
+
+
+def test_truncated_segment_is_rejected():
+    graph = graphs.gnp_graph(30, 0.2, seed=1).to_backend("csr")
+    with graph.to_shared() as export:
+        bogus = SharedCSRHandle(
+            shm_name=export.handle.shm_name,
+            num_vertices=export.handle.num_vertices * 1000,
+            num_entries=export.handle.num_entries * 1000,
+        )
+        with pytest.raises(GraphError, match="too small"):
+            bogus.attach()
