@@ -67,6 +67,7 @@ def evaluate_lca(
     mode: str = "batched",
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    mutations: Optional[Iterable] = None,
 ) -> EvaluationReport:
     """Materialize an LCA over every edge of its graph and verify the result.
 
@@ -91,8 +92,16 @@ def evaluate_lca(
         materialization.  Edges and probe statistics are identical to the
         in-process engines; only wall-clock time changes.  ``executor``
         implies the batched engine, so it requires the default ``mode``.
+    mutations:
+        Optional sequence of graph mutations (``(op, u, v)`` triples or
+        :class:`~repro.service.trace.TraceOp` records) applied to the LCA's
+        graph *before* materializing — the post-mutation spanner is what
+        gets verified.  Epoch-based cache invalidation guarantees the
+        result is bit-identical to evaluating a fresh LCA on the mutated
+        edge set; the applied count lands in ``report.extras``.
     """
     graph = lca.graph
+    applied = lca.apply_mutations(mutations) if mutations is not None else 0
     if executor is not None:
         if mode != "batched":
             raise ValueError(
@@ -102,13 +111,17 @@ def evaluate_lca(
         materialized = lca.materialize(executor=executor, workers=workers)
     else:
         materialized = lca.materialize(mode=mode)
-    return evaluate_materialized(
+    report = evaluate_materialized(
         graph,
         materialized,
         stretch_limit=stretch_limit,
         sample_stretch_edges=sample_stretch_edges,
         seed=seed,
     )
+    if mutations is not None:
+        report.extras["mutations"] = applied
+        report.extras["graph_epoch"] = graph.epoch
+    return report
 
 
 def evaluate_materialized(

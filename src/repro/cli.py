@@ -10,6 +10,7 @@ without writing Python:
 * ``repro-lca sweep``      — size/probe scaling sweep with exponent fits,
 * ``repro-lca lowerbound`` — the Theorem 1.3 distinguishing experiment,
 * ``repro-lca serve-bench``— run the online query service on a workload,
+* ``repro-lca mutate``     — apply edge mutations to a graph file,
 * ``repro-lca list``       — list the registered constructions.
 
 Graphs are read from edge-list files (see :mod:`repro.graphs.io`) or
@@ -46,6 +47,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from . import graphs
 from .analysis import evaluate_lca, exponent_row, format_table, run_sweep
+from .core.errors import GraphError, UnknownVertexError
 from .core.registry import available, create
 from .exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
 from .graphs.io import read_edge_list, write_edge_list
@@ -94,6 +96,21 @@ def _load_graph(args) -> graphs.Graph:
     if backend:
         graph = graph.to_backend(backend)
     return graph
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (--workers, --max-inflight).
+
+    Rejecting 0/negative values here turns what used to be a deep traceback
+    from the executor layer into a one-line argparse usage error.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _parse_edges(values: Sequence[str]) -> List[Tuple[int, int]]:
@@ -232,6 +249,8 @@ def cmd_serve_bench(args) -> int:
         workload_options["path"] = args.trace
     if args.workload == "zipf":
         workload_options["skew"] = args.skew
+    if args.workload == "churn":
+        workload_options["write_ratio"] = args.write_ratio
     workload = make_workload(
         args.workload,
         graph,
@@ -273,6 +292,48 @@ def cmd_serve_bench(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"wrote report to {args.json}")
+    return 0
+
+
+def cmd_mutate(args) -> int:
+    graph = _load_graph(args)
+    ops: List[Tuple[str, int, int]] = []
+    if args.ops:
+        from .service import read_trace_ops
+
+        ops.extend(
+            (record.op, record.u, record.v)
+            for record in read_trace_ops(args.ops)
+            if record.is_mutation
+        )
+    for value in args.add or []:
+        (edge,) = _parse_edges([value])
+        ops.append(("add", edge[0], edge[1]))
+    for value in args.remove or []:
+        (edge,) = _parse_edges([value])
+        ops.append(("remove", edge[0], edge[1]))
+    if not ops:
+        raise SystemExit("mutate needs at least one --add, --remove or --ops")
+    before_edges = graph.num_edges
+    try:
+        for (op, u, v) in ops:
+            graph.apply_mutation(op, u, v)
+    except (GraphError, UnknownVertexError) as exc:
+        raise SystemExit(f"mutate: {exc}")
+    graph.compact()
+    rows = [
+        {
+            "n": graph.num_vertices,
+            "m before": before_edges,
+            "m after": graph.num_edges,
+            "applied": len(ops),
+            "epoch": graph.epoch,
+        }
+    ]
+    print(format_table(rows, title="Graph mutation"))
+    if args.out:
+        write_edge_list(graph, args.out)
+        print(f"wrote mutated graph ({graph.num_edges} edges) to {args.out}")
     return 0
 
 
@@ -336,7 +397,7 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker count for --executor (default: CPU count)",
     )
@@ -444,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--skew", type=float, default=1.1, help="zipf workload skew exponent"
     )
+    serve.add_argument(
+        "--write-ratio", type=float, default=0.1,
+        help="churn workload write fraction: probability that a request is "
+        "a graph mutation instead of a read (ignored by other workloads)",
+    )
     serve.add_argument("--trace", help="JSONL trace file (trace workload)")
     serve.add_argument("--shards", type=int, default=4, help="oracle pool size")
     serve.add_argument(
@@ -471,15 +537,36 @@ def build_parser() -> argparse.ArgumentParser:
         "concurrently). Answers and probe totals are identical",
     )
     serve.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_positive_int, default=None,
         help="worker-thread cap for --executor thread (default: one per shard)",
     )
     serve.add_argument(
-        "--max-inflight", type=int, default=1,
+        "--max-inflight", type=_positive_int, default=1,
         help="dispatched-but-uncompleted batch limit (pipelining depth)",
     )
     serve.add_argument("--json", help="also write the full report to this JSON file")
     serve.set_defaults(handler=cmd_serve_bench)
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply edge mutations (add/remove) to a graph and write the result",
+    )
+    _add_graph_options(mutate)
+    mutate.add_argument(
+        "--add", action="append", metavar="U,V",
+        help="edge to add as 'u,v' (repeatable; applied after --ops)",
+    )
+    mutate.add_argument(
+        "--remove", action="append", metavar="U,V",
+        help="edge to remove as 'u,v' (repeatable; applied after --add)",
+    )
+    mutate.add_argument(
+        "--ops",
+        help="JSONL trace whose add/remove records are applied first "
+        "(query records are ignored)",
+    )
+    mutate.add_argument("--out", help="write the mutated graph edge list here")
+    mutate.set_defaults(handler=cmd_mutate)
 
     lower = sub.add_parser("lowerbound", help="Theorem 1.3 distinguishing experiment")
     lower.add_argument("--n", type=int, default=202)

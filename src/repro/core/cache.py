@@ -41,15 +41,75 @@ counters (the lower-bound experiments) use the cold path.
 probe primitives plus named memo tables for derived per-vertex state.  It is
 owned by a :class:`~repro.core.oracle.CachedOracle` and lives as long as its
 LCA, so state is reused across queries *and* across materializations.
+
+Epoch-based invalidation (dynamic graphs)
+-----------------------------------------
+
+Graphs mutate (:meth:`~repro.graphs.graph.Graph.add_edge` /
+``remove_edge``), and every memoized value is a pure function of the *rows
+it read*.  The cache therefore records, per entry, the set of vertices the
+computation touched (:class:`MemoEntry`) along with the graph epoch at
+store time; a mutation merely bumps the epochs of its two endpoints.  On
+lookup an entry is served only while none of its touched vertices has a
+newer epoch — otherwise it is discarded and the miss path recomputes
+against the current graph, re-charging the cold probe schedule of the *new*
+graph.  Because computations are deterministic and only read through the
+tracked accessors, a fresh entry's value and replayed cold cost are
+bit-identical to what a from-scratch rebuild on the post-mutation edge set
+would produce — the mutation-plane equivalence the tests pin.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Iterator, Optional, Set, Tuple
 
 from ..graphs.graph import Graph, Vertex
+
+#: Empty dependency set shared by graph-independent memo entries.
+_NO_TOUCHES: frozenset = frozenset()
+
+
+class MemoEntry:
+    """One memoized value plus its epoch-invalidation metadata.
+
+    ``touched`` is the set of vertices whose neighbor rows (or degrees, or
+    adjacency rows) the computation read; ``epoch`` is the graph's global
+    mutation epoch when the value was stored.  The entry is *fresh* while no
+    touched vertex has mutated since — computations are deterministic, so
+    re-running one whose reads are all unchanged would retrace the same
+    reads and produce the same value (and the same cold probe schedule).
+    An entry with an empty ``touched`` set is a pure function of
+    ``(seed, key)`` and never goes stale.
+    """
+
+    __slots__ = ("value", "epoch", "touched")
+
+    def __init__(self, value, epoch: int = 0, touched: frozenset = _NO_TOUCHES) -> None:
+        self.value = value
+        self.epoch = epoch
+        self.touched = touched
+
+    def __reduce__(self):
+        # Compact pickling: entries travel by the tens of thousands inside
+        # parallel-execution cache snapshots.
+        return (MemoEntry, (self.value, self.epoch, self.touched))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MemoEntry)
+            and self.value == other.value
+            and self.epoch == other.epoch
+            and self.touched == other.touched
+        )
+
+    def __hash__(self):  # pragma: no cover - entries are not used as keys
+        return hash((self.value, self.epoch, self.touched))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"MemoEntry({self.value!r}, epoch={self.epoch}, touched={len(self.touched)})"
 
 #: Leaf types allowed inside a *portable* memo namespace (see
 #: :func:`is_portable_namespace`).
@@ -111,9 +171,10 @@ class SnapshotCursor:
 
     Remembers how much state an earlier snapshot already exported — the
     stats counters and the per-namespace entry counts — so the next
-    snapshot through the same cursor carries only the delta.  Memo tables
-    are append-only (entries are pure values, never invalidated), so "the
-    first ``n`` items are already exported" is a complete description.
+    snapshot through the same cursor carries only the delta.  Cursors rely
+    on memo tables being append-only between snapshots, which holds exactly
+    where they are used: chunk workers never mutate their graph, so no
+    entry of theirs is ever lazily invalidated mid-run.
     """
 
     hits: int = 0
@@ -154,12 +215,15 @@ class OracleCache:
     *derived* per-LCA state.
     """
 
-    __slots__ = ("graph", "stats", "_memos")
+    __slots__ = ("graph", "stats", "_memos", "_trackers")
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
         self.stats = CacheStats()
         self._memos: Dict[Hashable, dict] = {}
+        # Dependency-tracking frames: while a memoized computation runs, the
+        # top frame collects the vertices whose rows it reads.
+        self._trackers: list = []
 
     # ------------------------------------------------------------------ #
     # Raw reads (probe-free; served by the graph's own lazy caches)
@@ -167,13 +231,19 @@ class OracleCache:
     def degree(self, v: Vertex) -> int:
         # Both backends answer degree in O(1) without materializing the
         # neighbor view (len of the adjacency list / indptr difference).
+        if self._trackers:
+            self._trackers[-1].add(int(v))
         return self.graph.degree(v)
 
     def neighbors(self, v: Vertex) -> Tuple[Vertex, ...]:
+        if self._trackers:
+            self._trackers[-1].add(int(v))
         return self.graph.neighbors(v)
 
     def index_row(self, v: Vertex) -> Dict[Vertex, int]:
         """The ``{neighbor: position}`` row of ``v`` (read-only)."""
+        if self._trackers:
+            self._trackers[-1].add(int(v))
         return self.graph.adjacency_row(v)
 
     # ------------------------------------------------------------------ #
@@ -196,6 +266,102 @@ class OracleCache:
     def memo_sizes(self) -> Dict[str, int]:
         """Entry counts per memo namespace (debugging / reporting)."""
         return {repr(namespace): len(table) for namespace, table in self._memos.items()}
+
+    # ------------------------------------------------------------------ #
+    # Epoch-aware memoization (the mutation-plane invalidation protocol)
+    # ------------------------------------------------------------------ #
+    def _entry_fresh(self, entry: MemoEntry) -> bool:
+        graph = self.graph
+        current = graph.epoch
+        stored = entry.epoch
+        if current == stored:
+            # Fast path: nothing mutated since the entry was last validated
+            # (every lookup on a never-mutated graph, where both sides are 0).
+            return True
+        touched = entry.touched
+        if touched:
+            if current - stored <= len(touched):
+                # Few mutations since: scan the mutation-log suffix against
+                # the dependency set (O(1) membership per mutation).
+                for (u, v) in graph.mutations_since(stored):
+                    if u in touched or v in touched:
+                        return False
+            else:
+                # Many mutations since: per-vertex epoch comparison is the
+                # cheaper direction.
+                vertex_epoch = graph.vertex_epoch
+                for v in touched:
+                    if vertex_epoch(v) > stored:
+                        return False
+        # Survived validation: re-stamp so the next lookup takes the fast
+        # path until the *next* mutation — validation cost is paid once per
+        # (entry, mutation burst), not once per hit.
+        entry.epoch = current
+        return True
+
+    def lookup(self, namespace: Hashable, key: Hashable) -> Optional[MemoEntry]:
+        """The fresh :class:`MemoEntry` under ``(namespace, key)``, or ``None``.
+
+        A stale entry — one whose touched vertices mutated after it was
+        stored — is discarded here, so the caller's miss path recomputes it
+        against the current graph and re-charges the (new) cold probe
+        schedule.  On a hit the entry's dependency set is propagated into
+        the enclosing tracking frame, keeping outer memoized computations
+        invalidatable through the state they consumed indirectly.
+        """
+        table = self._memos.get(namespace)
+        if table is None:
+            return None
+        entry = table.get(key)
+        if entry is None:
+            return None
+        if not self._entry_fresh(entry):
+            del table[key]
+            return None
+        if self._trackers and entry.touched:
+            self._trackers[-1].update(entry.touched)
+        return entry
+
+    def store(
+        self, namespace: Hashable, key: Hashable, value, touched: Set[Vertex]
+    ) -> MemoEntry:
+        """Store a value computed under a :meth:`track` frame."""
+        touched = frozenset(touched) if touched else _NO_TOUCHES
+        entry = MemoEntry(value, self.graph.epoch, touched)
+        self.memo(namespace)[key] = entry
+        if self._trackers and touched:
+            self._trackers[-1].update(touched)
+        return entry
+
+    @contextmanager
+    def track(self) -> Iterator[Set[Vertex]]:
+        """Collect the vertices read by the computation inside the block."""
+        tracker: Set[Vertex] = set()
+        self._trackers.append(tracker)
+        try:
+            yield tracker
+        finally:
+            self._trackers.pop()
+
+    def memoize(self, namespace: Hashable, key: Hashable, compute):
+        """Epoch-aware memoization of a probe-free computation.
+
+        The shared helper behind every per-vertex derived-state memo
+        (center sets, elections, representatives, ...): serves fresh
+        entries, lazily discards stale ones, and records the dependency set
+        of ``compute`` so later mutations of any vertex it read invalidate
+        the entry.  Callers charge the cold probe schedule themselves —
+        this layer never touches a probe counter (or the hit/miss stats,
+        which remain the :meth:`~repro.core.oracle.CachedOracle.memoized`
+        telemetry).
+        """
+        entry = self.lookup(namespace, key)
+        if entry is not None:
+            return entry.value
+        with self.track() as touched:
+            value = compute()
+        self.store(namespace, key, value, touched)
+        return value
 
     # ------------------------------------------------------------------ #
     # Snapshot / merge (the parallel-execution fold-back protocol)
@@ -249,13 +415,25 @@ class OracleCache:
         and first-write-wins merging is deterministic regardless of worker
         scheduling.  Hit/miss statistics accumulate (telemetry only —
         answers and probe accounting never depend on them).
+
+        Snapshots must have been computed against the receiver's *current*
+        graph state (true for every executor fold-back: workers attach to an
+        export of the coordinator's graph).  Incoming entries are therefore
+        re-stamped with the receiver's current epoch — a worker's own epoch
+        counter starts at 0 regardless of the coordinator's mutation
+        history, so the stamp, not the worker counter, is what keeps the
+        folded entries comparable with locally computed ones.
         """
         self.stats.hits += snapshot.hits
         self.stats.misses += snapshot.misses
+        epoch = self.graph.epoch
         for namespace, table in snapshot.memos.items():
             own = self.memo(namespace)
-            for key, value in table.items():
-                own.setdefault(key, value)
+            for key, entry in table.items():
+                if key not in own:
+                    if entry.epoch != epoch:
+                        entry = MemoEntry(entry.value, epoch, entry.touched)
+                    own[key] = entry
 
     def clear(self) -> None:
         """Drop all memoized state (answers are unaffected; only speed is)."""

@@ -166,6 +166,32 @@ class SpannerLCA(abc.ABC):
         return self._seed
 
     @property
+    def graph_epoch(self) -> int:
+        """Mutation epoch of the underlying graph (telemetry)."""
+        return self._graph.epoch
+
+    def apply_mutations(self, ops: Iterable) -> int:
+        """Apply a sequence of graph mutations; returns the count applied.
+
+        Each item is an ``(op, u, v)`` triple or any object with ``op`` /
+        ``u`` / ``v`` attributes (e.g. :class:`repro.service.trace.TraceOp`)
+        where ``op`` is ``"add"`` or ``"remove"``.  Mutations go straight to
+        the shared graph: no cache is flushed here — memoized state carries
+        epoch tags (:mod:`repro.core.cache`) and invalidates itself lazily,
+        so after any mutation sequence this LCA answers (and charges probes)
+        exactly like a from-scratch rebuild on the post-mutation edge set.
+        """
+        count = 0
+        for item in ops:
+            if isinstance(item, tuple):
+                op, u, v = item
+            else:
+                op, u, v = item.op, item.u, item.v
+            self._graph.apply_mutation(op, u, v)
+            count += 1
+        return count
+
+    @property
     def query_mode(self) -> str:
         """The active query-engine mode ("cold", "cached" or "batched")."""
         return self._query_mode

@@ -242,18 +242,25 @@ class CachedOracle(AdjacencyListOracle):
         probe cost does not depend on cache state — true for every derived
         quantity in this library, and checked end-to-end by the equivalence
         tests.
+
+        Entries are epoch-invalidated (:mod:`repro.core.cache`): the reads
+        ``compute`` makes are dependency-tracked, and a later mutation of
+        any vertex it touched turns the entry into a miss, so the value and
+        its cold probe schedule are recomputed against the mutated graph.
         """
-        table = self.cache.memo(namespace)
-        hit = table.get(key)
-        if hit is not None:
-            value, cost = hit
-            self.cache.stats.hits += 1
+        cache = self.cache
+        entry = cache.lookup(namespace, key)
+        if entry is not None:
+            value, cost = entry.value
+            cache.stats.hits += 1
             self.replay(cost)
             return value
-        self.cache.stats.misses += 1
+        cache.stats.misses += 1
         before = self.counter.snapshot()
-        value = compute()
-        table[key] = (value, self.counter.snapshot() - before)
+        with cache.track() as touched:
+            value = compute()
+        cost = self.counter.snapshot() - before
+        cache.store(namespace, key, (value, cost), touched)
         return value
 
     # ------------------------------------------------------------------ #

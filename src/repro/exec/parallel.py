@@ -78,13 +78,21 @@ def materialize_parallel(
         backend = get_executor(executor, worker_count)
         chunks = backend.map_ordered(execute_chunk, plans)
     finally:
-        if shared_export is not None:
-            shared_export.close()
-        if executor == "serial":
-            # Serial chunks ran on this very thread; drop the worker slot so
-            # the rebuilt LCA (a full copy of the memo state) is not kept
-            # alive past the run.  Pool-backed workers die with their pool.
-            clear_worker_slot()
+        # Failure-path hygiene: a worker raising mid-run must not leak the
+        # shared-memory segment (close + unlink always run), and a failing
+        # close must not leak the serial worker slot either — hence the
+        # nested finally.  tests/test_shared_csr.py injects a failing chunk
+        # and asserts the segment is gone.
+        try:
+            if shared_export is not None:
+                shared_export.close()
+        finally:
+            if executor == "serial":
+                # Serial chunks ran on this very thread; drop the worker
+                # slot so the rebuilt LCA (a full copy of the memo state) is
+                # not kept alive past the run.  Pool-backed workers die with
+                # their pool.
+                clear_worker_slot()
 
     # ---- fold back, in chunk order (== original edge order) --------------
     counter = lca.probe_counter

@@ -38,6 +38,7 @@ bit-identical to the serial path.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
@@ -53,6 +54,18 @@ from .graph import (
 
 #: Byte width of the shared int64 layout (``array`` typecode "q").
 _ITEM_SIZE = array("q").itemsize
+
+#: Default number of pending overlay entries that triggers an automatic
+#: :meth:`CSRGraph.compact`.  The overlay keeps single mutations O(Δ-free)
+#: cheap; once deltas pile up, one O(m) re-materialization restores flat
+#: array scans for every row.
+DEFAULT_COMPACT_THRESHOLD = 512
+
+
+def _in_sorted(values, item: int) -> bool:
+    """Membership test on a sorted array (the removal side-arrays)."""
+    position = bisect_left(values, item)
+    return position < len(values) and values[position] == item
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -86,7 +99,17 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 class CSRGraph(Graph):
     """CSR-backed graph with the same interface and semantics as :class:`Graph`."""
 
-    __slots__ = ("_ids", "_pos", "_indptr", "_indices", "_rows")
+    __slots__ = (
+        "_ids",
+        "_pos",
+        "_indptr",
+        "_indices",
+        "_rows",
+        "_delta_add",
+        "_delta_removed",
+        "_delta_entries",
+        "compact_threshold",
+    )
 
     backend = "csr"
 
@@ -134,6 +157,8 @@ class CSRGraph(Graph):
         self._rows: Dict[int, Dict[Vertex, int]] = {}
         self._views = {}
         self._num_edges = len(indices) // 2
+        self._init_mutation_state()
+        self._init_overlay()
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -149,7 +174,11 @@ class CSRGraph(Graph):
         The exporter must outlive every attachment and should be closed (and
         unlinked) when the parallel section ends — use it as a context
         manager.
+
+        Pending mutation deltas are folded in first (:meth:`compact`), so
+        the exported flat arrays always describe the current rows.
         """
+        self.compact()
         return SharedCSRExport(self)
 
     # ------------------------------------------------------------------ #
@@ -166,6 +195,14 @@ class CSRGraph(Graph):
         return int(v) in self._pos
 
     def edges(self) -> Iterator[Edge]:
+        if self._delta_entries:
+            # _neighbors_of, not neighbors(): the cached-view accessor would
+            # permanently materialize a tuple per vertex just to iterate.
+            for u in self._ids:
+                for v in self._neighbors_of(u):
+                    if u < v:
+                        yield (u, v)
+            return
         indptr, indices = self._indptr, self._indices
         for p, u in enumerate(self._ids):
             for k in range(indptr[p], indptr[p + 1]):
@@ -175,9 +212,27 @@ class CSRGraph(Graph):
 
     def degree(self, v: Vertex) -> int:
         p = self._position(v)
-        return self._indptr[p + 1] - self._indptr[p]
+        base = self._indptr[p + 1] - self._indptr[p]
+        if not self._delta_entries:
+            return base
+        v = int(v)
+        removed = self._delta_removed.get(v)
+        added = self._delta_add.get(v)
+        if removed:
+            base -= len(removed)
+        if added:
+            base += len(added)
+        return base
 
     def neighbor_at(self, v: Vertex, index: int) -> Optional[Vertex]:
+        v = int(v)
+        if self._delta_entries and (
+            v in self._delta_add or v in self._delta_removed
+        ):
+            row = self.neighbors(v)
+            if 0 <= index < len(row):
+                return row[index]
+            return None
         p = self._position(v)
         start = self._indptr[p]
         if 0 <= index < self._indptr[p + 1] - start:
@@ -191,26 +246,107 @@ class CSRGraph(Graph):
         v = int(v)
         row = self._rows.get(v)
         if row is None:
-            p = self._position(v)
-            start = self._indptr[p]
-            row = {
-                w: i
-                for i, w in enumerate(self._indices[start : self._indptr[p + 1]])
-            }
+            row = {w: i for i, w in enumerate(self._neighbors_of(v))}
             self._rows[v] = row
         return row
 
     def max_degree(self) -> int:
+        if self._delta_entries:
+            return max((self.degree(v) for v in self._ids), default=0)
         indptr = self._indptr
         if len(indptr) < 2:
             return 0
         return max(indptr[p + 1] - indptr[p] for p in range(len(indptr) - 1))
 
     def min_degree(self) -> int:
+        if self._delta_entries:
+            return min((self.degree(v) for v in self._ids), default=0)
         indptr = self._indptr
         if len(indptr) < 2:
             return 0
         return min(indptr[p + 1] - indptr[p] for p in range(len(indptr) - 1))
+
+    # ------------------------------------------------------------------ #
+    # Mutation overlay (delta side-arrays + compaction)
+    # ------------------------------------------------------------------ #
+    def _init_overlay(self) -> None:
+        # Per-vertex overlay consulted by every neighbor view while deltas
+        # are pending: appended neighbors (in mutation order) and removed
+        # neighbor ids (sorted side-arrays probed with bisect).
+        self._delta_add: Dict[int, List[int]] = {}
+        self._delta_removed: Dict[int, array] = {}
+        self._delta_entries = 0
+        self.compact_threshold = DEFAULT_COMPACT_THRESHOLD
+
+    @property
+    def delta_count(self) -> int:
+        return self._delta_entries
+
+    def _apply_add(self, u: Vertex, v: Vertex) -> None:
+        # A re-added edge whose base occurrence is masked by the removal
+        # side-array stays masked: the appended id lands at the end of the
+        # row, exactly where the dict backend's remove-then-append puts it.
+        for a, b in ((u, v), (v, u)):
+            self._delta_add.setdefault(a, []).append(b)
+            self._delta_entries += 1
+
+    def _apply_remove(self, u: Vertex, v: Vertex) -> None:
+        for a, b in ((u, v), (v, u)):
+            added = self._delta_add.get(a)
+            if added is not None and b in added:
+                added.remove(b)
+                self._delta_entries -= 1
+                if not added:
+                    del self._delta_add[a]
+                continue
+            removed = self._delta_removed.get(a)
+            if removed is None:
+                removed = array("q")
+                self._delta_removed[a] = removed
+            insort(removed, b)
+            self._delta_entries += 1
+
+    def _invalidate_rows(self, u: Vertex, v: Vertex) -> None:
+        self._rows.pop(u, None)
+        self._rows.pop(v, None)
+
+    def _maybe_compact(self) -> None:
+        if self._delta_entries > self.compact_threshold:
+            self.compact()
+
+    def compact(self) -> "CSRGraph":
+        """Re-materialize the flat CSR arrays with all deltas folded in.
+
+        Observable state is untouched: rows, orderings, degrees, epochs and
+        cached views all stay exactly as they were — only the storage moves
+        from base-plus-overlay back to flat arrays.
+        """
+        if not self._delta_entries:
+            return self
+        try:
+            indices = array("q")
+            indptr = array("q", [0])
+            offset = 0
+            for v in self._ids:
+                row = self._neighbors_of(v)
+                indices.extend(row)
+                offset += len(row)
+                indptr.append(offset)
+        except OverflowError:
+            indices = []  # type: ignore[assignment]
+            indptr = array("q", [0])
+            offset = 0
+            for v in self._ids:
+                row = self._neighbors_of(v)
+                indices.extend(row)
+                offset += len(row)
+                indptr.append(offset)
+        self._indices = indices
+        self._indptr = indptr
+        self._delta_add = {}
+        self._delta_removed = {}
+        self._delta_entries = 0
+        return self
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -225,7 +361,21 @@ class CSRGraph(Graph):
         # Raw row slice; the inherited Graph.neighbors() turns it into the
         # cached immutable view, keeping the view-memo logic in one place.
         p = self._position(v)
-        return self._indices[self._indptr[p] : self._indptr[p + 1]]
+        base = self._indices[self._indptr[p] : self._indptr[p + 1]]
+        if not self._delta_entries:
+            return base
+        v = int(v)
+        removed = self._delta_removed.get(v)
+        added = self._delta_add.get(v)
+        if removed is None and added is None:
+            return base
+        if removed:
+            row = [w for w in base if not _in_sorted(removed, w)]
+        else:
+            row = list(base)
+        if added:
+            row.extend(added)
+        return row
 
     def _validate(self) -> None:  # pragma: no cover - validation runs in __init__
         validate_adjacency(self.as_adjacency())
@@ -352,12 +502,26 @@ class SharedCSRGraph(CSRGraph):
         self._rows = {}
         self._views = {}
         self._num_edges = nnz // 2
+        self._init_mutation_state()
+        self._init_overlay()
 
     @classmethod
     def _builder_class(cls) -> type:
         # Derived graphs (subgraphs) own their storage instead of aliasing
         # someone else's shared segment.
         return CSRGraph
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        raise GraphError(
+            "shared CSR attachments are read-only views; mutate the "
+            "exporting graph and re-export instead"
+        )
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        raise GraphError(
+            "shared CSR attachments are read-only views; mutate the "
+            "exporting graph and re-export instead"
+        )
 
     def detach(self) -> None:
         """Release the memoryviews and close this attachment's mapping.

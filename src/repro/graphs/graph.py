@@ -19,6 +19,12 @@ variable) selects the backend; :meth:`Graph.to_backend` converts between them
 while preserving neighbor orderings exactly, so probe-level behavior is
 backend independent.
 
+Both backends support live edge mutations (:meth:`Graph.add_edge` /
+:meth:`Graph.remove_edge`): added neighbors are appended to the end of both
+rows, removals preserve the relative order of the survivors, and every
+mutation bumps a per-vertex *epoch* that the derived-state caches
+(:mod:`repro.core.cache`) use for lazy invalidation.
+
 Vertices are arbitrary integers; they need not form ``0..n-1``.
 """
 
@@ -133,7 +139,15 @@ class Graph:
         structures by design may pass ``False`` to skip the O(m) check.
     """
 
-    __slots__ = ("_adj", "_index", "_views", "_num_edges")
+    __slots__ = (
+        "_adj",
+        "_index",
+        "_views",
+        "_num_edges",
+        "_graph_epoch",
+        "_vertex_epochs",
+        "_mutation_log",
+    )
 
     #: Name of the storage backend implemented by this class.
     backend = "dict"
@@ -158,6 +172,7 @@ class Graph:
         # Cached immutable neighbor views handed out by neighbors().
         self._views: Dict[Vertex, Tuple[Vertex, ...]] = {}
         self._num_edges = sum(len(neighbors) for neighbors in self._adj.values()) // 2
+        self._init_mutation_state()
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -358,6 +373,134 @@ class Graph:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Mutation plane (dynamic graphs)
+    # ------------------------------------------------------------------ #
+    def _init_mutation_state(self) -> None:
+        self._graph_epoch = 0
+        self._vertex_epochs: Dict[Vertex, int] = {}
+        # Flat endpoint log: entry ``e - 1`` is the mutation that produced
+        # epoch ``e``.  Lets cache validation check "did anything I read
+        # change since epoch X?" in O(mutations since X) instead of
+        # O(vertices read) — the difference between a per-hit scan of a
+        # query's whole dependency set and a handful of set-membership
+        # probes (two ints per mutation of memory).
+        self._mutation_log: List[Edge] = []
+
+    @property
+    def epoch(self) -> int:
+        """Global mutation epoch: 0 for a never-mutated graph, +1 per mutation.
+
+        Derived-state caches (see :mod:`repro.core.cache`) tag entries with
+        the epoch they were computed at and compare against
+        :meth:`vertex_epoch` of the vertices the computation read, so a
+        mutation only bumps counters here — stale entries are discarded
+        lazily on their next lookup, never eagerly recomputed.
+        """
+        return self._graph_epoch
+
+    def vertex_epoch(self, v: Vertex) -> int:
+        """Epoch of the last mutation that changed the neighbor row of ``v``."""
+        return self._vertex_epochs.get(int(v), 0)
+
+    def mutations_since(self, epoch: int) -> List[Edge]:
+        """Endpoint pairs of every mutation applied after ``epoch``."""
+        return self._mutation_log[epoch:]
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``(u, v)`` between two existing vertices.
+
+        The new neighbor is appended to the *end* of both rows — the same
+        position :meth:`from_edges` would give it, so a mutated graph and a
+        from-scratch build on the post-mutation edge sequence expose
+        identical neighbor orderings (and therefore identical probe
+        schedules).  Self loops, unknown endpoints and duplicate edges are
+        rejected.
+        """
+        u, v = int(u), int(v)
+        if u == v:
+            raise GraphError(f"self loop ({u}, {v}) is not allowed")
+        for x in (u, v):
+            if not self.has_vertex(x):
+                raise UnknownVertexError(x)
+        if self.has_edge(u, v):
+            raise GraphError(f"({u}, {v}) is already an edge of this graph")
+        self._apply_add(u, v)
+        self._num_edges += 1
+        self._note_mutation(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``(u, v)``.
+
+        The relative order of the surviving neighbors is preserved on both
+        sides.  Removing an edge that does not exist (or touching an unknown
+        vertex) raises.
+        """
+        u, v = int(u), int(v)
+        for x in (u, v):
+            if not self.has_vertex(x):
+                raise UnknownVertexError(x)
+        if not self.has_edge(u, v):
+            raise GraphError(f"({u}, {v}) is not an edge of this graph")
+        self._apply_remove(u, v)
+        self._num_edges -= 1
+        self._note_mutation(u, v)
+
+    def apply_mutation(self, op: str, u: Vertex, v: Vertex) -> None:
+        """Apply one mutation record (``op`` is ``"add"`` or ``"remove"``)."""
+        if op == "add":
+            self.add_edge(u, v)
+        elif op == "remove":
+            self.remove_edge(u, v)
+        else:
+            raise GraphError(
+                f"unknown mutation op {op!r}; choices: ('add', 'remove')"
+            )
+
+    def compact(self) -> "Graph":
+        """Fold pending mutation deltas into primary storage (returns self).
+
+        A no-op for the dict backend, whose adjacency lists mutate in place;
+        the CSR backend re-materializes its flat arrays (see
+        :meth:`~repro.graphs.csr.CSRGraph.compact`).  Observable state —
+        rows, orderings, epochs — never changes.
+        """
+        return self
+
+    @property
+    def delta_count(self) -> int:
+        """Pending overlay entries awaiting :meth:`compact` (0 for dict)."""
+        return 0
+
+    def _note_mutation(self, u: Vertex, v: Vertex) -> None:
+        """Bump epochs and drop raw per-vertex caches for both endpoints."""
+        self._graph_epoch += 1
+        stamp = self._graph_epoch
+        self._vertex_epochs[u] = stamp
+        self._vertex_epochs[v] = stamp
+        self._mutation_log.append((u, v))
+        self._views.pop(u, None)
+        self._views.pop(v, None)
+        self._invalidate_rows(u, v)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Hook for backends with a delta overlay (dict storage has none)."""
+
+    def _apply_add(self, u: Vertex, v: Vertex) -> None:
+        self._adj[u].append(v)
+        self._adj[v].append(u)
+
+    def _apply_remove(self, u: Vertex, v: Vertex) -> None:
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+
+    def _invalidate_rows(self, u: Vertex, v: Vertex) -> None:
+        index = self._index
+        if index is not None:
+            for x in (u, v):
+                index[x] = {w: i for i, w in enumerate(self._adj[x])}
 
     # ------------------------------------------------------------------ #
     # Derived graphs

@@ -38,10 +38,21 @@ from .shards import (
     ShardRouter,
     ShardedOraclePool,
 )
-from .trace import iter_trace, read_trace, write_trace
+from .trace import (
+    MUTATION_OPS,
+    TRACE_OPS,
+    TraceOp,
+    as_trace_op,
+    iter_trace,
+    iter_trace_ops,
+    read_trace,
+    read_trace_ops,
+    write_trace,
+)
 from .workload import (
     WORKLOAD_KINDS,
     AdaptiveWorkload,
+    ChurnWorkload,
     TraceWorkload,
     UniformWorkload,
     Workload,
@@ -66,10 +77,17 @@ __all__ = [
     "UniformWorkload",
     "ZipfWorkload",
     "AdaptiveWorkload",
+    "ChurnWorkload",
     "TraceWorkload",
     "WORKLOAD_KINDS",
     "make_workload",
     "write_trace",
     "read_trace",
     "iter_trace",
+    "TraceOp",
+    "TRACE_OPS",
+    "MUTATION_OPS",
+    "as_trace_op",
+    "read_trace_ops",
+    "iter_trace_ops",
 ]

@@ -50,6 +50,28 @@ Every timestamp the engine records flows through the injected ``clock``
 (arrival stamps, completion stamps, run duration) — no code path reads
 ``time.perf_counter`` directly once a clock is supplied, so latency tests
 run on fully deterministic synthetic clocks.
+
+The write path (mutating workloads)
+-----------------------------------
+
+Workloads may emit graph *mutations* (``TraceOp`` records with op "add" /
+"remove" — the ``churn`` kind, or a replayed mixed trace).  Writes obey
+three rules that keep the run deterministic and the shared graph safe:
+
+1. **Never shed** — a write enters the queue regardless of depth (the rest
+   of the stream is only meaningful if every write applies exactly once, in
+   order).  Read admission accounts for queued-but-unapplied writes: a read
+   of an edge a queued write will create is admitted, one a queued write
+   will delete is rejected — validity is judged against the state the read
+   will execute under, not the current graph.
+2. **Barrier semantics** — when a write reaches the queue head, every
+   in-flight read batch is completed first, then the owning shard's worker
+   applies the mutation synchronously; reads queued behind it dispatch
+   afterwards.  No shard worker ever reads the graph while it changes.
+3. **Lazy cross-shard invalidation** — the mutation bumps vertex epochs on
+   the shared graph; sibling shards discard stale memo entries on their
+   next lookup (see :mod:`repro.core.cache`), so a write costs O(1) plus
+   exactly the recomputation the affected queries actually need.
 """
 
 from __future__ import annotations
@@ -57,14 +79,16 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, NamedTuple, Optional, Tuple
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
 
+from ..core.ids import canonical_edge
 from ..core.lca import SpannerLCA
 from ..core.probes import ProbeStatistics
 from ..exec import PINNED_BACKENDS, PinnedWorkers
 from ..graphs.graph import Graph
 from .metrics import LatencyStats, ServiceReport
 from .shards import ROUTING_POLICIES, ShardedOraclePool
+from .trace import TraceOp
 from .workload import Workload
 
 Edge = Tuple[int, int]
@@ -147,6 +171,7 @@ class _Pending(NamedTuple):
     u: int
     v: int
     arrival_s: float
+    op: str = "query"
 
 
 class _InflightBatch(NamedTuple):
@@ -212,30 +237,123 @@ class ServiceEngine:
         latency = LatencyStats()
         probe_stats = ProbeStatistics()
         offered = admitted = rejected = invalid = served = in_spanner = 0
+        mutations_applied = 0
         batches = 0
         max_depth_seen = 0
         seq = 0
         exhausted = False
+        # Queued-but-unapplied writes, per canonical edge in queue order.
+        # Admission checks a query's validity against the graph state it
+        # will *execute* under (FIFO order guarantees every earlier queued
+        # write lands first), not the current graph: the *last* queued write
+        # for an edge decides, and applying one write only retires that
+        # write — markers of later still-queued writes on the same edge
+        # survive.
+        pending_writes: Dict[Edge, Deque[str]] = {}
         # Shard telemetry is lifetime-scoped (an engine can run several
         # workloads); baseline it so the report only covers this run.
         shard_baseline = pool.telemetry()
+
+        def edge_admissible(u: int, v: int) -> bool:
+            key = canonical_edge(u, v)
+            queued = pending_writes.get(key)
+            if queued:
+                return queued[-1] == "add"
+            return has_edge(u, v)
 
         started = clock()
         with PinnedWorkers(
             pool.num_shards, config.executor, config.workers
         ) as workers:
+
+            def complete_oldest() -> None:
+                nonlocal served, in_spanner
+                batch, parts = inflight.popleft()
+                outcomes: List[Tuple[bool, int]] = [None] * len(batch)  # type: ignore[list-item]
+                stamps: List[float] = [0.0] * len(batch)
+                if coalesce:
+                    # A coalesced batch completes as a unit: one stamp
+                    # once every shard group has resolved.
+                    for future, positions in parts:
+                        result = future.result()
+                        for position, answer, total in zip(
+                            positions, result.answers, result.probe_totals
+                        ):
+                            outcomes[position] = (answer, total)
+                    done = clock()
+                    stamps = [done] * len(batch)
+                else:
+                    # The unbatched baseline stamps each request as its
+                    # own future resolves (in batch order), preserving
+                    # the classic per-request completion times.
+                    for future, positions in parts:
+                        outcomes[positions[0]] = future.result()
+                        stamps[positions[0]] = clock()
+                for req, (answer, probes), done in zip(batch, outcomes, stamps):
+                    served += 1
+                    if answer:
+                        in_spanner += 1
+                    elapsed = done - req.arrival_s
+                    latency.add(elapsed)
+                    probe_stats.add(probes)
+                    workload.observe((req.u, req.v), answer)
+                    if config.record:
+                        records.append(
+                            RequestRecord(
+                                req.seq, req.u, req.v, answer, probes, elapsed
+                            )
+                        )
+
+            def apply_write(write: _Pending) -> None:
+                # Writes are scheduling barriers: every dispatched read batch
+                # resolves first (so no shard worker reads the graph while it
+                # changes), then the owning shard's worker applies the
+                # mutation synchronously.
+                nonlocal mutations_applied
+                while inflight:
+                    complete_oldest()
+                shard_id = router.shard_of_edge(write.u, write.v)
+                workers.submit(
+                    shard_id,
+                    shards[shard_id].apply_mutation,
+                    write.op,
+                    write.u,
+                    write.v,
+                ).result()
+                key = canonical_edge(write.u, write.v)
+                queued = pending_writes.get(key)
+                if queued:
+                    queued.popleft()
+                    if not queued:
+                        del pending_writes[key]
+                mutations_applied += 1
+
             while not exhausted or queue or inflight:
                 # ---- ingest: up to `burst` arrivals through admission control
                 arrivals = 0
                 while arrivals < burst and not exhausted:
-                    edge = workload.next_request()
-                    if edge is None:
+                    request = workload.next_request()
+                    if request is None:
                         exhausted = True
                         break
                     arrivals += 1
                     offered += 1
-                    u, v = edge
-                    if not has_edge(u, v):
+                    if isinstance(request, TraceOp) and request.is_mutation:
+                        # Writes are never shed: the rest of the stream (the
+                        # workload's internal edge mirror, later reads, later
+                        # writes) is only valid if every write applies
+                        # exactly once, in order.
+                        seq += 1
+                        queue.append(
+                            _Pending(seq, request.u, request.v, clock(), request.op)
+                        )
+                        key = canonical_edge(request.u, request.v)
+                        pending_writes.setdefault(key, deque()).append(request.op)
+                        continue
+                    u, v = (
+                        request.edge if isinstance(request, TraceOp) else request
+                    )
+                    if not edge_admissible(u, v):
                         invalid += 1
                         rejected += 1
                         continue
@@ -248,10 +366,21 @@ class ServiceEngine:
                 if len(queue) > max_depth_seen:
                     max_depth_seen = len(queue)
 
-                # ---- dispatch: submit FIFO batches up to the in-flight bound
-                while queue and len(inflight) < max_inflight:
-                    take = min(batch_size, len(queue))
-                    batch = [queue.popleft() for _ in range(take)]
+                # ---- dispatch: FIFO batches up to the in-flight bound, with
+                # writes serialized ahead of the reads that follow them
+                while queue:
+                    if queue[0].op != "query":
+                        apply_write(queue.popleft())
+                        continue
+                    if len(inflight) >= max_inflight:
+                        break
+                    batch: List[_Pending] = []
+                    while (
+                        queue
+                        and len(batch) < batch_size
+                        and queue[0].op == "query"
+                    ):
+                        batch.append(queue.popleft())
                     batches += 1
                     if coalesce:
                         parts = [
@@ -289,41 +418,7 @@ class ServiceEngine:
                 if inflight and (
                     len(inflight) >= max_inflight or (exhausted and not queue)
                 ):
-                    batch, parts = inflight.popleft()
-                    outcomes: List[Tuple[bool, int]] = [None] * len(batch)  # type: ignore[list-item]
-                    stamps: List[float] = [0.0] * len(batch)
-                    if coalesce:
-                        # A coalesced batch completes as a unit: one stamp
-                        # once every shard group has resolved.
-                        for future, positions in parts:
-                            result = future.result()
-                            for position, answer, total in zip(
-                                positions, result.answers, result.probe_totals
-                            ):
-                                outcomes[position] = (answer, total)
-                        done = clock()
-                        stamps = [done] * len(batch)
-                    else:
-                        # The unbatched baseline stamps each request as its
-                        # own future resolves (in batch order), preserving
-                        # the classic per-request completion times.
-                        for future, positions in parts:
-                            outcomes[positions[0]] = future.result()
-                            stamps[positions[0]] = clock()
-                    for req, (answer, probes), done in zip(batch, outcomes, stamps):
-                        served += 1
-                        if answer:
-                            in_spanner += 1
-                        elapsed = done - req.arrival_s
-                        latency.add(elapsed)
-                        probe_stats.add(probes)
-                        workload.observe((req.u, req.v), answer)
-                        if config.record:
-                            records.append(
-                                RequestRecord(
-                                    req.seq, req.u, req.v, answer, probes, elapsed
-                                )
-                            )
+                    complete_oldest()
         duration = clock() - started
 
         report = ServiceReport(
@@ -346,9 +441,12 @@ class ServiceEngine:
             shard_reports=pool.reports(since=shard_baseline),
             executor=config.executor,
             max_inflight=max_inflight,
+            mutations=mutations_applied,
         )
         if invalid:
             report.extras["invalid_requests"] = invalid
+        if mutations_applied:
+            report.extras["graph_epoch"] = self.graph.epoch
         return report
 
 

@@ -16,7 +16,7 @@ enough to serialize next to the benchmark JSON (:meth:`ServiceReport.as_dict`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.probes import ProbeStatistics, nearest_rank_percentile
 from .shards import ShardReport
@@ -27,12 +27,34 @@ LATENCY_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
 
 @dataclass
 class LatencyStats:
-    """Per-request latency samples (seconds) with nearest-rank percentiles."""
+    """Per-request latency samples (seconds) with nearest-rank percentiles.
+
+    Percentile queries share one lazily maintained sorted view of the
+    samples: the first percentile after a batch of :meth:`add` calls sorts
+    once, every further quantile (and the whole :meth:`as_dict` summary)
+    reuses it.  The old behavior — ``sorted(self.samples_s)`` on *every*
+    ``percentile_s`` call — made a k-quantile summary over n samples cost
+    k·O(n log n) for no reason; outputs are pinned identical by
+    ``tests/test_service_churn.py``.
+    """
 
     samples_s: List[float] = field(default_factory=list)
+    _ordered: Optional[List[float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, seconds: float) -> None:
         self.samples_s.append(float(seconds))
+        self._ordered = None
+
+    def _sorted_samples(self) -> List[float]:
+        ordered = self._ordered
+        if ordered is None or len(ordered) != len(self.samples_s):
+            # The length re-check also covers callers that append to
+            # ``samples_s`` directly instead of going through add().
+            ordered = sorted(self.samples_s)
+            self._ordered = ordered
+        return ordered
 
     @property
     def count(self) -> int:
@@ -47,11 +69,11 @@ class LatencyStats:
         return max(self.samples_s) if self.samples_s else 0.0
 
     def percentile_s(self, q: float) -> float:
-        return nearest_rank_percentile(sorted(self.samples_s), q)
+        return nearest_rank_percentile(self._sorted_samples(), q)
 
     def as_dict(self) -> Dict[str, float]:
         """Summary in milliseconds (the natural scale for serving)."""
-        ordered = sorted(self.samples_s)
+        ordered = self._sorted_samples()
         summary = {
             "count": self.count,
             "mean_ms": round(self.mean_s * 1e3, 4),
@@ -72,10 +94,12 @@ class ServiceReport:
     routing: str
     batch_size: int
     coalesced: bool
-    offered: int            # requests the workload produced
-    admitted: int           # accepted into the queue
-    rejected: int           # turned away by admission control
-    served: int             # completed (== admitted for a drained run)
+    offered: int            # requests the workload produced (reads + writes)
+    admitted: int           # reads accepted into the queue (writes are
+                            # counted in `mutations`; offered == admitted
+                            # + rejected + mutations)
+    rejected: int           # reads turned away by admission control
+    served: int             # completed reads (== admitted for a drained run)
     in_spanner: int         # YES answers among served requests
     duration_s: float
     batches: int
@@ -85,6 +109,7 @@ class ServiceReport:
     shard_reports: List[ShardReport] = field(default_factory=list)
     executor: str = "serial"        # shard-worker backend of the run
     max_inflight: int = 1           # batch pipelining depth of the run
+    mutations: int = 0              # graph writes applied during the run
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -144,6 +169,7 @@ class ServiceReport:
             "offered": self.offered,
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "mutations": self.mutations,
             "rejection_rate": round(self.rejection_rate, 4),
             "served": self.served,
             "in_spanner": self.in_spanner,

@@ -131,6 +131,7 @@ class ShardReport:
     probes: ProbeSnapshot
     cache_hits: int
     cache_misses: int
+    mutations: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -145,6 +146,7 @@ class ShardReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "mutations": self.mutations,
         }
 
 
@@ -158,12 +160,13 @@ class OracleShard:
     identical answers and identical per-query probe totals.
     """
 
-    __slots__ = ("shard_id", "lca", "requests")
+    __slots__ = ("shard_id", "lca", "requests", "mutations")
 
     def __init__(self, shard_id: int, lca: SpannerLCA) -> None:
         self.shard_id = shard_id
         self.lca = lca.set_query_mode("cached")
         self.requests = 0
+        self.mutations = 0
 
     def serve_one(self, u: int, v: int) -> Tuple[bool, int]:
         """Serve a single request; returns ``(answer, probe_total)``."""
@@ -176,35 +179,53 @@ class OracleShard:
         self.requests += len(edges)
         return self.lca.query_batch(edges, validate=validate)
 
-    def telemetry(self) -> Tuple[int, ProbeSnapshot, int, int]:
-        """Lifetime counters ``(requests, probes, cache_hits, cache_misses)``;
-        pass to :meth:`report` as a baseline to get per-run deltas."""
+    def apply_mutation(self, op: str, u: int, v: int) -> int:
+        """Apply one graph mutation on behalf of the pool; returns the epoch.
+
+        The graph object is shared by every shard, so the write executes
+        once — on the owning shard's worker, while no read batch is in
+        flight (the engine's write barrier).  Sibling shards need no
+        notification: their memo entries check the shared graph's vertex
+        epochs on their next lookup and discard themselves lazily.
+        """
+        self.mutations += 1
+        graph = self.lca.graph
+        graph.apply_mutation(op, u, v)
+        return graph.epoch
+
+    def telemetry(self) -> Tuple[int, ProbeSnapshot, int, int, int]:
+        """Lifetime counters ``(requests, probes, cache_hits, cache_misses,
+        mutations)``; pass to :meth:`report` as a baseline to get per-run
+        deltas."""
         cache = self.lca.oracle_cache
         return (
             self.requests,
             self.lca.probe_counter.snapshot(),
             cache.stats.hits if cache is not None else 0,
             cache.stats.misses if cache is not None else 0,
+            self.mutations,
         )
 
     def report(
-        self, since: Optional[Tuple[int, ProbeSnapshot, int, int]] = None
+        self, since: Optional[Tuple[int, ProbeSnapshot, int, int, int]] = None
     ) -> ShardReport:
         """Telemetry since ``since`` (a :meth:`telemetry` baseline), or since
         shard creation when omitted."""
-        requests, probes, hits, misses = self.telemetry()
+        requests, probes, hits, misses, mutations = self.telemetry()
         if since is not None:
-            base_requests, base_probes, base_hits, base_misses = since
+            base_requests, base_probes, base_hits, base_misses, base_mutations = since
             requests -= base_requests
             probes = probes - base_probes
             hits -= base_hits
             misses -= base_misses
+            mutations -= base_mutations
         return ShardReport(
             shard_id=self.shard_id,
             requests=requests,
             probes=probes,
             cache_hits=hits,
             cache_misses=misses,
+            mutations=mutations,
         )
 
 
@@ -252,6 +273,10 @@ class ShardedOraclePool:
     def serve_one(self, u: int, v: int) -> Tuple[bool, int]:
         """Route and serve a single request (the unbatched path)."""
         return self.shard_for(u, v).serve_one(u, v)
+
+    def apply_mutation(self, op: str, u: int, v: int) -> int:
+        """Route a graph mutation to its owning shard; returns the epoch."""
+        return self.shard_for(u, v).apply_mutation(op, u, v)
 
     def partition(
         self, edges: Sequence[Edge]

@@ -18,9 +18,19 @@ kinds stress different parts of the serving stack —
     the spanner).  This is the many-adaptive-queries regime of the
     space-efficient LCA line of work — the stream depends on earlier
     answers, so it cannot be pre-generated.
+``churn``
+    A read/write mix: with probability ``write_ratio`` the next request is a
+    graph *mutation* (a random edge insertion or deletion, emitted as a
+    :class:`~repro.service.trace.TraceOp`), otherwise a uniform read.  The
+    workload keeps an internal mirror of the edge set — every emitted
+    mutation is valid against the state all earlier emitted mutations
+    produce, which the engine guarantees by applying writes in stream order
+    and never shedding them.  This is the live-traffic regime the
+    epoch-based cache invalidation exists for.
 ``trace``
     Replay of a recorded request log (JSONL, see :mod:`repro.service.trace`)
     — the regression-testing workhorse: identical byte streams across runs.
+    Traces replay queries *and* recorded mutations losslessly.
 
 All workloads draw from a private :class:`random.Random` seeded explicitly,
 so a (kind, graph, seed, size) tuple always reproduces the same stream —
@@ -32,15 +42,20 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..core.ids import canonical_edge
 from ..graphs.graph import Graph
-from .trace import read_trace
+from .trace import TraceOp, read_trace_ops
 
 Edge = Tuple[int, int]
 
+#: What a workload emits: plain query edges, or TraceOp records for streams
+#: that carry mutations.
+Request = Union[Edge, TraceOp]
+
 #: Registered workload kinds (the scenario axis).
-WORKLOAD_KINDS = ("uniform", "zipf", "adaptive", "trace")
+WORKLOAD_KINDS = ("uniform", "zipf", "adaptive", "churn", "trace")
 
 
 class Workload:
@@ -198,8 +213,106 @@ class AdaptiveWorkload(Workload):
             del frontier[:overflow]
 
 
+class ChurnWorkload(Workload):
+    """Uniform reads interleaved with random graph mutations.
+
+    With probability ``write_ratio`` the next request is a mutation: an
+    edge deletion (a uniformly random current edge) or an insertion (a
+    uniformly random current non-edge between existing vertices), each with
+    probability 1/2 — so the edge count performs an unbiased random walk
+    around its starting point.  Reads sample uniformly from the *current*
+    edge set as the workload's internal mirror tracks it.
+
+    The mirror assumes every emitted mutation is applied exactly once, in
+    stream order, before any later read executes — the contract the service
+    engine provides (writes are never shed and act as scheduling barriers).
+    """
+
+    kind = "churn"
+
+    #: Rejection-sampling bound for drawing a non-edge; graphs dense enough
+    #: to exhaust it fall back to emitting a deletion instead.
+    _ADD_ATTEMPTS = 64
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_requests: int,
+        seed: int = 0,
+        write_ratio: float = 0.1,
+    ) -> None:
+        super().__init__(num_requests)
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        edges = [canonical_edge(u, v) for (u, v) in graph.edges()]
+        if not edges:
+            raise ValueError("graph has no edges to sample requests from")
+        self._edges = edges
+        self._edge_set = set(edges)
+        self._vertices = graph.vertices()
+        self._rng = random.Random(f"churn:{seed}")
+        self.write_ratio = float(write_ratio)
+        self.mutations_emitted = 0
+
+    def _random_non_edge(self) -> Optional[Edge]:
+        rng = self._rng
+        vertices = self._vertices
+        for _ in range(self._ADD_ATTEMPTS):
+            u = vertices[rng.randrange(len(vertices))]
+            v = vertices[rng.randrange(len(vertices))]
+            if u == v:
+                continue
+            key = canonical_edge(u, v)
+            if key not in self._edge_set:
+                return key
+        return None
+
+    def _emit_add(self) -> Optional[TraceOp]:
+        key = self._random_non_edge()
+        if key is None:
+            return None
+        self._edge_set.add(key)
+        self._edges.append(key)
+        return TraceOp("add", key[0], key[1])
+
+    def _emit_remove(self) -> Optional[TraceOp]:
+        if not self._edges:
+            return None
+        rng = self._rng
+        position = rng.randrange(len(self._edges))
+        key = self._edges[position]
+        # Swap-remove keeps deletion O(1); list order is irrelevant to
+        # uniform sampling.
+        self._edges[position] = self._edges[-1]
+        self._edges.pop()
+        self._edge_set.discard(key)
+        return TraceOp("remove", key[0], key[1])
+
+    def _generate(self) -> Request:
+        rng = self._rng
+        if rng.random() < self.write_ratio:
+            mutation = (
+                self._emit_add() if rng.random() < 0.5 else self._emit_remove()
+            )
+            if mutation is None:  # saturated graph / no edges left
+                mutation = self._emit_remove() or self._emit_add()
+            if mutation is not None:
+                self.mutations_emitted += 1
+                return mutation
+        if not self._edges:
+            # The mirror drained to zero edges: a read is impossible, so
+            # force an insertion instead (always possible — an empty edge
+            # set on the ≥2 vertices the constructor guaranteed cannot be
+            # complete).
+            mutation = self._emit_add()
+            self.mutations_emitted += 1
+            return mutation
+        u, v = self._edges[rng.randrange(len(self._edges))]
+        return _oriented(rng, u, v)
+
+
 class TraceWorkload(Workload):
-    """Replay a recorded request stream from a JSONL trace file."""
+    """Replay a recorded request stream (queries and mutations) losslessly."""
 
     kind = "trace"
 
@@ -209,27 +322,37 @@ class TraceWorkload(Workload):
         num_requests: Optional[int] = None,
         seed: int = 0,  # accepted for interface uniformity; replay is exact
         path: Optional[str] = None,
-        edges: Optional[Sequence[Edge]] = None,
+        edges: Optional[Sequence] = None,
     ) -> None:
         if path is None and edges is None:
             raise ValueError("trace workload needs a path or an edge sequence")
-        replay = list(edges) if edges is not None else read_trace(path)
+        if edges is not None:
+            replay: List[Request] = [
+                item if isinstance(item, TraceOp) else (int(item[0]), int(item[1]))
+                for item in edges
+            ]
+        else:
+            replay = [
+                record if record.is_mutation else record.edge
+                for record in read_trace_ops(path)
+            ]
         if num_requests is not None:
             replay = replay[: int(num_requests)]
         super().__init__(len(replay))
         self._replay = replay
         self._cursor = 0
 
-    def _generate(self) -> Edge:
-        edge = self._replay[self._cursor]
+    def _generate(self) -> Request:
+        item = self._replay[self._cursor]
         self._cursor += 1
-        return edge
+        return item
 
 
 WORKLOADS: Dict[str, type] = {
     "uniform": UniformWorkload,
     "zipf": ZipfWorkload,
     "adaptive": AdaptiveWorkload,
+    "churn": ChurnWorkload,
     "trace": TraceWorkload,
 }
 

@@ -56,18 +56,16 @@ class PrefixCenterSystem:
     def is_center_fast(self, oracle: AdjacencyListOracle, vertex: int) -> bool:
         """``is_center`` with the hash evaluation memoized on a cached oracle.
 
-        The election status is a pure function of ``(seed, vertex)``; the
-        k-wise hash evaluation behind it dominates cold query time, so cached
-        oracles remember it per vertex.  Still probe-free.
+        The election status is a pure function of ``(seed, vertex)`` — its
+        memo entry touches no graph state, so mutations never invalidate it;
+        the k-wise hash evaluation behind it dominates cold query time, so
+        cached oracles remember it per vertex.  Still probe-free.
         """
         if not oracle.supports_memo:
             return self.sampler.is_center(vertex)
-        table = oracle.memo((self, "is-center"))
-        elected = table.get(vertex)
-        if elected is None:
-            elected = self.sampler.is_center(vertex)
-            table[vertex] = elected
-        return elected
+        return oracle.cache.memoize(
+            (self, "is-center"), vertex, lambda: self.sampler.is_center(vertex)
+        )
 
     def prefix_sets(
         self, oracle: AdjacencyListOracle, vertex: int
@@ -78,19 +76,19 @@ class PrefixCenterSystem:
         Callers that expose a probe-counted operation must charge the cold
         schedule themselves (``center_set`` charges 1 Degree + ``scanned``
         Neighbor probes, a cluster-membership test charges 1 Adjacency).
-        Requires a cached oracle.
+        Requires a cached oracle.  The entry depends on the row of
+        ``vertex`` only, so it is lazily invalidated when that row mutates.
         """
-        table = oracle.memo((self, "prefix-sets"))
-        hit = table.get(vertex)
-        if hit is None:
+
+        def compute():
             row = oracle.cache.neighbors(vertex)
             scanned = min(len(row), self.prefix)
             ordered = tuple(
                 w for w in row[:scanned] if self.is_center_fast(oracle, w)
             )
-            hit = (ordered, frozenset(ordered), scanned)
-            table[vertex] = hit
-        return hit
+            return (ordered, frozenset(ordered), scanned)
+
+        return oracle.cache.memoize((self, "prefix-sets"), vertex, compute)
 
     # ------------------------------------------------------------------ #
     # Probe-counted operations

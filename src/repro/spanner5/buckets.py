@@ -64,15 +64,19 @@ class DegreeBoundedCenterSystem:
         return oracle.degree(vertex) <= self.degree_bound
 
     def _election(self, oracle: AdjacencyListOracle, vertex: int):
-        """Memoized ``(elected, coin flip)`` pair (probe-free; cached oracle)."""
-        table = oracle.memo((self, "election"))
-        hit = table.get(vertex)
-        if hit is None:
+        """Memoized ``(elected, coin flip)`` pair (probe-free; cached oracle).
+
+        A successful flip reads the vertex's degree, so the entry depends on
+        (and is invalidated with) the vertex's row; a failed flip is pure in
+        ``(seed, vertex)`` and survives every mutation.
+        """
+
+        def compute():
             flipped = self.sampler.is_center(vertex)
             elected = flipped and oracle.cache.degree(vertex) <= self.degree_bound
-            hit = (elected, flipped)
-            table[vertex] = hit
-        return hit
+            return (elected, flipped)
+
+        return oracle.cache.memoize((self, "election"), vertex, compute)
 
     def center_set(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
         """``S(vertex)``: sampled bounded-degree vertices among the prefix."""
@@ -91,9 +95,7 @@ class DegreeBoundedCenterSystem:
         prefix, plus one ``Degree`` probe per candidate whose coin flip
         succeeded (the degree-bound check of :meth:`is_center`).
         """
-        table = oracle.memo((self, "prefix-sets"))
-        hit = table.get(vertex)
-        if hit is None:
+        def compute():
             row = oracle.cache.neighbors(vertex)
             scanned = min(len(row), self.prefix)
             ordered = []
@@ -105,9 +107,9 @@ class DegreeBoundedCenterSystem:
                 if elected:
                     ordered.append(w)
             ordered = tuple(ordered)
-            hit = (ordered, frozenset(ordered), scanned, flips)
-            table[vertex] = hit
-        return hit
+            return (ordered, frozenset(ordered), scanned, flips)
+
+        return oracle.cache.memoize((self, "prefix-sets"), vertex, compute)
 
     def in_cluster_of(
         self, oracle: AdjacencyListOracle, member: int, center: int
@@ -129,9 +131,8 @@ class DegreeBoundedCenterSystem:
         per neighbor; the degree bound on centers caps this at ``Δ_super``.
         """
         if oracle.supports_memo:
-            table = oracle.memo((self, "cluster-members"))
-            hit = table.get(center)
-            if hit is None:
+
+            def compute():
                 cache = oracle.cache
                 row = cache.neighbors(center)
                 members = [center]
@@ -139,9 +140,11 @@ class DegreeBoundedCenterSystem:
                     index = cache.index_row(w).get(center)
                     if index is not None and index < self.prefix:
                         members.append(w)
-                hit = (tuple(members), len(row))
-                table[center] = hit
-            members, degree = hit
+                return (tuple(members), len(row))
+
+            members, degree = oracle.cache.memoize(
+                (self, "cluster-members"), center, compute
+            )
             oracle.charge(degree=1, neighbor=degree, adjacency=degree)
             return list(members)
         members = [center]

@@ -51,17 +51,20 @@ class RepresentativeSystem:
         )
 
     def _sampled_indices(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
-        """``distinct_indices`` with the hash evaluations memoized (probe-free)."""
+        """``distinct_indices`` with the hash evaluations memoized (probe-free).
+
+        A pure function of ``(seed, vertex)`` — the memo entry touches no
+        graph state and survives every mutation.
+        """
         if not oracle.supports_memo:
             return self._indices.distinct_indices(vertex, self.params.med_threshold)
-        table = oracle.memo((self, "indices"))
-        indices = table.get(vertex)
-        if indices is None:
-            indices = self._indices.distinct_indices(
+        return oracle.cache.memoize(
+            (self, "indices"),
+            vertex,
+            lambda: self._indices.distinct_indices(
                 vertex, self.params.med_threshold
-            )
-            table[vertex] = indices
-        return indices
+            ),
+        )
 
     def representatives(self, oracle: AdjacencyListOracle, vertex: int) -> List[int]:
         """``Reps(vertex)``: super-high-degree neighbors at sampled positions.
@@ -72,12 +75,11 @@ class RepresentativeSystem:
         its edges are kept by E_low anyway).
         """
         if oracle.supports_memo:
-            table = oracle.memo((self, "reps"))
-            hit = table.get(vertex)
-            if hit is None:
-                hit = self._representatives_raw(oracle, vertex)
-                table[vertex] = hit
-            found, valid, distinct = hit
+            found, valid, distinct = oracle.cache.memoize(
+                (self, "reps"),
+                vertex,
+                lambda: self._representatives_raw(oracle, vertex),
+            )
             oracle.charge(degree=1 + distinct, neighbor=valid)
             return list(found)
         degree = oracle.degree(vertex)

@@ -108,6 +108,15 @@ class LocalView:
         self.oracle = oracle
         self.params = params
         self.randomness = randomness
+        if cache is not None:
+            # Cross-query shared caches bypass the oracle's epoch-tracked
+            # memo layer, so guard them coarsely: any graph mutation since
+            # the cache was last used drops the whole thing (explorations
+            # are multi-hop, so per-vertex invalidation would be unsound).
+            epoch = oracle.graph.epoch
+            if cache.get("__epoch__") != epoch:
+                cache.clear()
+                cache["__epoch__"] = epoch
         self._cache = cache if cache is not None else {}
 
     # ------------------------------------------------------------------ #

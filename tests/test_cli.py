@@ -267,3 +267,106 @@ def test_serve_bench_replays_whole_trace_when_requests_unset(graph_file, capsys,
     )
     assert code == 0
     assert "2100" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# Argument validation (satellite: clean errors instead of deep tracebacks)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("value", ["0", "-2", "nope"])
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["materialize", "--executor", "process", "--workers"],
+        ["evaluate", "--executor", "thread", "--workers"],
+        ["serve-bench", "--workers"],
+        ["serve-bench", "--max-inflight"],
+    ],
+)
+def test_bad_worker_counts_fail_with_a_clean_argparse_error(
+    graph_file, capsys, argv, value
+):
+    with pytest.raises(SystemExit) as excinfo:
+        main([argv[0], "--graph", graph_file, *argv[1:], value])
+    assert excinfo.value.code == 2  # argparse usage error, not a traceback
+    err = capsys.readouterr().err
+    assert "must be >= 1" in err or "not an integer" in err
+
+
+def test_good_worker_counts_still_parse(graph_file):
+    args = build_parser().parse_args(
+        ["serve-bench", "--graph", graph_file, "--workers", "3",
+         "--max-inflight", "2"]
+    )
+    assert args.workers == 3 and args.max_inflight == 2
+
+
+# --------------------------------------------------------------------------- #
+# Mutation plane: the mutate subcommand and the churn workload
+# --------------------------------------------------------------------------- #
+def test_mutate_command_applies_ops_and_writes_result(graph_file, capsys, tmp_path):
+    graph = read_edge_list(graph_file)
+    edges = list(graph.edges())
+    (ru, rv) = edges[0]
+    non_edge = None
+    for a in graph.vertices():
+        for b in graph.vertices():
+            if a != b and not graph.has_edge(a, b):
+                non_edge = (a, b)
+                break
+        if non_edge:
+            break
+    out_path = tmp_path / "mutated.txt"
+    code = main(
+        ["mutate", "--graph", graph_file,
+         "--add", f"{non_edge[0]},{non_edge[1]}",
+         "--remove", f"{ru},{rv}", "--out", str(out_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Graph mutation" in out and "wrote mutated graph" in out
+    mutated = read_edge_list(out_path)
+    assert mutated.num_edges == graph.num_edges
+    assert mutated.has_edge(*non_edge)
+    assert not mutated.has_edge(ru, rv)
+
+
+def test_mutate_command_replays_trace_ops(graph_file, capsys, tmp_path):
+    from repro.service import TraceOp, write_trace
+
+    graph = read_edge_list(graph_file)
+    (ru, rv) = next(iter(graph.edges()))
+    trace_path = tmp_path / "ops.jsonl"
+    write_trace(trace_path, [(1, 2), TraceOp("remove", ru, rv)])  # query ignored
+    out_path = tmp_path / "mutated.txt"
+    code = main(
+        ["mutate", "--graph", graph_file, "--ops", str(trace_path),
+         "--out", str(out_path)]
+    )
+    assert code == 0
+    assert not read_edge_list(out_path).has_edge(ru, rv)
+
+
+def test_mutate_command_rejects_invalid_ops_cleanly(graph_file, capsys):
+    with pytest.raises(SystemExit, match="mutate:"):
+        main(["mutate", "--graph", graph_file, "--add", "0,0"])
+    with pytest.raises(SystemExit, match="at least one"):
+        main(["mutate", "--graph", graph_file])
+
+
+def test_serve_bench_runs_the_churn_workload(graph_file, capsys, tmp_path):
+    report_path = tmp_path / "churn.json"
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--workload", "churn",
+         "--requests", "200", "--write-ratio", "0.25", "--shards", "2",
+         "--batch-size", "8", "--seed", "4", "--json", str(report_path)]
+    )
+    assert code == 0
+    assert "churn" in capsys.readouterr().out
+    import json
+
+    payload = json.loads(report_path.read_text())
+    assert payload["mutations"] > 0
+    assert (
+        payload["offered"]
+        == payload["admitted"] + payload["rejected"] + payload["mutations"]
+    )

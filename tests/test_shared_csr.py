@@ -151,3 +151,63 @@ def test_truncated_segment_is_rejected():
         )
         with pytest.raises(GraphError, match="too small"):
             bogus.attach()
+
+
+# --------------------------------------------------------------------------- #
+# Failure-path hygiene (regression: shared segment leak on worker failure)
+# --------------------------------------------------------------------------- #
+def _failing_chunk(plan):
+    raise RuntimeError("injected chunk failure")
+
+
+def test_failed_parallel_run_does_not_leak_the_shared_segment(monkeypatch):
+    """A worker raising mid-``materialize(executor="process")`` must still
+    close *and unlink* the shared-memory export — the coordinator's
+    plan/scatter section runs under try/finally.  Before that guard, the
+    segment outlived the exception until interpreter exit (and survived it
+    entirely on hosts without resource-tracker cleanup)."""
+    from multiprocessing import shared_memory
+
+    import repro.exec.parallel as parallel_module
+    import repro.exec.plan as plan_module
+
+    exported = {}
+    original_to_shared = CSRGraph.to_shared
+
+    def capturing_to_shared(self):
+        export = original_to_shared(self)
+        exported["name"] = export.name
+        return export
+
+    monkeypatch.setattr(CSRGraph, "to_shared", capturing_to_shared)
+    # Patch both the worker-side module attribute (resolved by pickle-by-name
+    # in forked children) and the coordinator's imported reference.
+    monkeypatch.setattr(plan_module, "execute_chunk", _failing_chunk)
+    monkeypatch.setattr(parallel_module, "execute_chunk", _failing_chunk)
+
+    graph = graphs.gnp_graph(40, 0.2, seed=5).to_backend("csr")
+    lca = create("spanner3", graph, seed=3)
+    with pytest.raises(RuntimeError, match="injected chunk failure"):
+        lca.materialize(executor="process", workers=2)
+
+    name = exported["name"]
+    with pytest.raises(FileNotFoundError):
+        segment = shared_memory.SharedMemory(name=name)
+        segment.close()  # pragma: no cover - only on leak
+
+
+def test_failed_serial_run_still_clears_the_worker_slot(monkeypatch):
+    """The serial backend shares the coordinator thread; a failing chunk must
+    not leave the worker slot (graph + rebuilt LCA) alive."""
+    import repro.exec.parallel as parallel_module
+    import repro.exec.plan as plan_module
+    from repro.exec.plan import _WORKER_TLS
+
+    monkeypatch.setattr(plan_module, "execute_chunk", _failing_chunk)
+    monkeypatch.setattr(parallel_module, "execute_chunk", _failing_chunk)
+
+    graph = graphs.gnp_graph(30, 0.25, seed=4)
+    lca = create("spanner3", graph, seed=2)
+    with pytest.raises(RuntimeError, match="injected chunk failure"):
+        lca.materialize(executor="serial", workers=2)
+    assert getattr(_WORKER_TLS, "slot", None) is None
