@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (CI: the docs job).
+
+Walks the given Markdown files (default: ``README.md``, ``docs/``,
+``examples/README.md``, ``scenarios``-adjacent docs) and verifies that every
+*relative* link and image target resolves to an existing file, with any
+``#fragment`` stripped.  External links (``http(s)://``, ``mailto:``) and
+pure in-page anchors are skipped — this gate catches the common failure mode
+of moving a file and leaving stale cross-references, without needing network
+access.
+
+Run from the repository root::
+
+    python scripts/check_links.py            # default file set
+    python scripts/check_links.py docs/*.md  # explicit files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+DEFAULT_TARGETS = ["README.md", "docs", "examples/README.md"]
+
+
+def markdown_files(arguments: list) -> list:
+    targets = arguments or DEFAULT_TARGETS
+    files = []
+    for raw in targets:
+        path = (REPO_ROOT / raw) if not Path(raw).is_absolute() else Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"check_links: target {raw} does not exist", file=sys.stderr)
+            raise SystemExit(2)
+    return files
+
+
+def check_file(path: Path) -> list:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            failures.append(f"{shown}:{line}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    files = markdown_files(sys.argv[1:])
+    failures = []
+    checked = 0
+    for path in files:
+        checked += 1
+        failures.extend(check_file(path))
+    if failures:
+        print(f"check_links: {len(failures)} broken link(s)")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"check_links: OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,8 @@ The public API is re-exported here for convenience:
                                         — :mod:`repro.exec`
 * online query service (shards, scheduler, workloads)
                                         — :mod:`repro.service`
+* experiment & reporting plane (scenario specs, Markdown reports)
+                                        — :mod:`repro.reports`
 
 Quickstart
 ----------
@@ -40,6 +42,7 @@ from . import (
     lca_classic,
     lowerbound,
     rand,
+    reports,
     service,
 )
 from .analysis import (
@@ -88,6 +91,7 @@ __all__ = [
     "lca_classic",
     "lowerbound",
     "rand",
+    "reports",
     "Graph",
     "CSRGraph",
     "Seed",

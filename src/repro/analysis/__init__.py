@@ -15,7 +15,7 @@ from .harness import (
     probe_complexity_sample,
 )
 from .sweep import SweepPoint, SweepResult, exponent_row, run_sweep
-from .tables import format_comparison, format_table
+from .tables import format_comparison, format_markdown_table, format_table
 from .verify import (
     StretchReport,
     check_subgraph,
@@ -44,6 +44,7 @@ __all__ = [
     "exponent_row",
     "format_table",
     "format_comparison",
+    "format_markdown_table",
     "StretchReport",
     "measure_stretch",
     "verify_spanner",

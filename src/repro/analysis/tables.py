@@ -48,6 +48,38 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def format_markdown_table(
+    rows: Sequence[Dict[str, object]], title: str = "", level: int = 3
+) -> str:
+    """Render dict rows as a GitHub-flavored Markdown table.
+
+    The Markdown twin of :func:`format_table`, used by the report generator
+    (:mod:`repro.reports.render`).  Output is fully determined by the rows:
+    column order is first-seen order, cells go through the same ``_fmt`` as
+    the plain-text tables, and no timestamps or environment values are ever
+    added here — byte-identical inputs give byte-identical Markdown.
+    """
+    if not rows:
+        body = "(no rows)"
+    else:
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        escape = lambda text: text.replace("|", "\\|")  # noqa: E731
+        header = "| " + " | ".join(escape(str(col)) for col in columns) + " |"
+        separator = "|" + "|".join(" --- " for _ in columns) + "|"
+        lines = [header, separator]
+        for row in rows:
+            cells = [escape(_fmt(row.get(col))) for col in columns]
+            lines.append("| " + " | ".join(cells) + " |")
+        body = "\n".join(lines)
+    if title:
+        return f"{'#' * level} {title}\n\n{body}"
+    return body
+
+
 def format_comparison(
     rows: Iterable[Dict[str, object]],
     measured_key: str,

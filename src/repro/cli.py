@@ -11,6 +11,8 @@ without writing Python:
 * ``repro-lca lowerbound`` — the Theorem 1.3 distinguishing experiment,
 * ``repro-lca serve-bench``— run the online query service on a workload,
 * ``repro-lca mutate``     — apply edge mutations to a graph file,
+* ``repro-lca report``     — run declarative scenario specs and render the
+  Markdown report (``report run`` / ``report render``, see ``docs/reports.md``),
 * ``repro-lca list``       — list the registered constructions.
 
 Graphs are read from edge-list files (see :mod:`repro.graphs.io`) or
@@ -31,6 +33,8 @@ Usage examples::
     python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
         --workload zipf --requests 2000 --shards 4 --batch-size 32 \
         --executor thread
+    python -m repro.cli report run scenarios/smoke.toml --smoke
+    python -m repro.cli report render --out report.md
 
 ``--backend {dict,csr}`` picks the graph storage backend,
 ``--query-mode {cold,cached,batched}`` the query engine, and
@@ -64,22 +68,9 @@ from .service import (
 # --------------------------------------------------------------------------- #
 # Graph acquisition
 # --------------------------------------------------------------------------- #
-GENERATORS = {
-    "gnp": lambda n, density, seed: graphs.gnp_graph(n, density, seed=seed),
-    "clustered": lambda n, density, seed: graphs.dense_cluster_graph(
-        n, max(2, n // 10), inter_probability=density, seed=seed
-    ),
-    "power-law": lambda n, density, seed: graphs.power_law_graph(n, seed=seed),
-    "bounded": lambda n, density, seed: graphs.bounded_degree_expanderish(
-        n if n % 2 == 0 else n + 1, d=6, seed=seed
-    ),
-    "hubs": lambda n, density, seed: graphs.planted_hub_graph(
-        n, num_hubs=max(2, n // 50), hub_degree=max(10, n // 3), seed=seed
-    ),
-    "grid": lambda n, density, seed: graphs.grid_graph(
-        max(2, int(round(n ** 0.5))), max(2, int(round(n ** 0.5))), seed=seed
-    ),
-}
+#: The named graph families, shared with the experiment plane
+#: (:mod:`repro.graphs.generators` owns the registry).
+GENERATORS = graphs.FAMILY_BUILDERS
 
 
 def _load_graph(args) -> graphs.Graph:
@@ -91,7 +82,7 @@ def _load_graph(args) -> graphs.Graph:
             raise SystemExit(
                 f"unknown graph family {family!r}; choices: {sorted(GENERATORS)}"
             )
-        graph = GENERATORS[family](args.n, args.density, args.seed)
+        graph = graphs.build_family(family, args.n, density=args.density, seed=args.seed)
     backend = getattr(args, "backend", None)
     if backend:
         graph = graph.to_backend(backend)
@@ -337,6 +328,49 @@ def cmd_mutate(args) -> int:
     return 0
 
 
+def cmd_report_run(args) -> int:
+    import time as _time
+
+    from .reports import ResultStore, SpecError, load_scenarios, run_scenario
+
+    try:
+        specs = load_scenarios(args.specs)
+    except SpecError as exc:
+        raise SystemExit(f"report run: {exc}")
+    store = ResultStore(args.results)
+    for spec in specs:
+        started = _time.perf_counter()
+        result = run_scenario(spec, smoke=args.smoke)
+        path = store.save(result, wall_seconds=_time.perf_counter() - started)
+        sizes = ", ".join(str(row.n) for row in result.sizes)
+        phases = [f"n = {sizes}"] + (["service"] if result.service is not None else [])
+        print(f"ran {spec.name} ({'; '.join(phases)}) -> {path}")
+    return 0
+
+
+def cmd_report_render(args) -> int:
+    from .reports import ResultStore, StoreError, render_report
+
+    store = ResultStore(args.results)
+    try:
+        payloads = store.load_all()
+    except StoreError as exc:
+        raise SystemExit(f"report render: {exc}")
+    if not payloads:
+        raise SystemExit(
+            f"report render: no results under {store.root}; run "
+            "`repro report run scenarios/...` first"
+        )
+    markdown = render_report(payloads)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote report for {len(payloads)} scenario(s) to {args.out}")
+    else:
+        print(markdown, end="")
+    return 0
+
+
 def cmd_lowerbound(args) -> int:
     result = run_distinguishing_experiment(
         num_vertices=args.n,
@@ -416,6 +450,7 @@ def _add_query_mode_option(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the full ``repro-lca`` argument parser (all sub-commands)."""
     parser = argparse.ArgumentParser(
         prog="repro-lca",
         description="Local computation algorithms for graph spanners (paper reproduction)",
@@ -567,6 +602,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mutate.add_argument("--out", help="write the mutated graph edge list here")
     mutate.set_defaults(handler=cmd_mutate)
+
+    report = sub.add_parser(
+        "report",
+        help="declarative experiment suite: run scenario specs, render Markdown",
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    report_run = report_sub.add_parser(
+        "run", help="run scenario spec files/directories and store results"
+    )
+    report_run.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="scenario spec file (.toml/.json) or directory of specs",
+    )
+    report_run.add_argument(
+        "--results", default="results",
+        help="results directory (default: results/)",
+    )
+    report_run.add_argument(
+        "--smoke", action="store_true",
+        help="shrink every scenario to CI size (smallest graph size, "
+        "capped requests and churn)",
+    )
+    report_run.set_defaults(handler=cmd_report_run)
+    report_render = report_sub.add_parser(
+        "render", help="render stored results as one Markdown report"
+    )
+    report_render.add_argument(
+        "--results", default="results",
+        help="results directory to read (default: results/)",
+    )
+    report_render.add_argument(
+        "--out", default=None,
+        help="write the report here instead of printing it",
+    )
+    report_render.set_defaults(handler=cmd_report_render)
 
     lower = sub.add_parser("lowerbound", help="Theorem 1.3 distinguishing experiment")
     lower.add_argument("--n", type=int, default=202)

@@ -338,3 +338,48 @@ def relabel_randomly(graph: Graph, seed: Optional[int] = None, id_space: int = 1
                 break
     edges = [(new_ids[u], new_ids[v]) for (u, v) in graph.edges()]
     return _build(edges, new_ids.values(), seed)
+
+
+# --------------------------------------------------------------------------- #
+# Named families (the scenario axis)
+# --------------------------------------------------------------------------- #
+#: Size/density-parameterized graph families addressable by name.  The CLI
+#: (``--generate``) and the experiment plane (:mod:`repro.reports`) share
+#: this registry, so a scenario spec and a command line mean the same graph.
+FAMILY_BUILDERS: Dict[str, object] = {
+    "gnp": lambda n, density, seed: gnp_graph(n, density, seed=seed),
+    "clustered": lambda n, density, seed: dense_cluster_graph(
+        n, max(2, n // 10), inter_probability=density, seed=seed
+    ),
+    "power-law": lambda n, density, seed: power_law_graph(n, seed=seed),
+    "bounded": lambda n, density, seed: bounded_degree_expanderish(
+        n if n % 2 == 0 else n + 1, d=6, seed=seed
+    ),
+    "hubs": lambda n, density, seed: planted_hub_graph(
+        n, num_hubs=max(2, n // 50), hub_degree=max(10, n // 3), seed=seed
+    ),
+    "grid": lambda n, density, seed: grid_graph(
+        max(2, int(round(n ** 0.5))), max(2, int(round(n ** 0.5))), seed=seed
+    ),
+}
+
+#: Sorted family names (argparse choices, spec validation).
+GRAPH_FAMILIES = tuple(sorted(FAMILY_BUILDERS))
+
+
+def build_family(
+    family: str, n: int, density: float = 0.1, seed: Optional[int] = None
+) -> Graph:
+    """Build a named graph family instance (``gnp``, ``clustered``, ...).
+
+    ``density`` is interpreted per family (edge probability for ``gnp``,
+    inter-cluster probability for ``clustered``; ignored by the families
+    whose density is structural).  Unknown names raise
+    :class:`~repro.core.errors.ParameterError` listing the choices.
+    """
+    key = family.strip().lower()
+    if key not in FAMILY_BUILDERS:
+        raise ParameterError(
+            f"unknown graph family {family!r}; choices: {sorted(FAMILY_BUILDERS)}"
+        )
+    return FAMILY_BUILDERS[key](n, density, seed)

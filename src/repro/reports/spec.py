@@ -1,0 +1,511 @@
+"""Declarative scenario specs: one TOML/JSON table per experiment.
+
+A :class:`ScenarioSpec` names one point in the system's configuration space —
+graph family × spanner family × storage backend × executor × workload ×
+mutation churn — plus the seeds that make the run reproducible.  Spec files
+are plain data (TOML via :mod:`tomllib`, or JSON), so the curated suite under
+``scenarios/`` is reviewable, diffable and runnable with one command::
+
+    repro report run scenarios/smoke.toml
+    repro report render
+
+A file holds either a single scenario (top-level keys) or a list of them
+(``[[scenario]]`` tables in TOML, a ``{"scenario": [...]}`` array in JSON).
+Validation happens eagerly at load time with precise error messages
+(:class:`SpecError` carries the file and scenario name), so a typo in a spec
+fails before any graph is built.
+
+The sub-tables mirror the layers they configure:
+
+``[scenario.graph]``
+    family / sizes / density / backend / seed — resolved through the shared
+    :data:`repro.graphs.FAMILY_BUILDERS` registry, so a spec and a
+    ``repro generate`` command line mean the same graph.
+``[scenario.materialize]``
+    mode (cold/cached/batched) or executor + workers — the offline engine.
+``[scenario.mutations]``
+    a deterministic pre-materialization churn burst (count + seed),
+    exercising epoch-based cache invalidation.
+``[scenario.workload]`` / ``[scenario.service]``
+    the online phase: workload kind/size/seed/options and the
+    :class:`~repro.service.engine.ServiceConfig` knobs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import ReproError
+from ..exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
+from ..graphs.generators import GRAPH_FAMILIES
+from ..service.shards import ROUTING_POLICIES
+from ..service.workload import WORKLOAD_KINDS
+
+#: Query-engine modes accepted by ``[scenario.materialize] mode``.
+QUERY_MODES = ("cold", "cached", "batched")
+
+#: Graph storage backends accepted by ``[scenario.graph] backend``.
+GRAPH_BACKENDS = ("dict", "csr")
+
+
+class SpecError(ReproError):
+    """A scenario spec failed validation (carries file / scenario context)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _check_choice(value: str, choices: Sequence[str], what: str) -> str:
+    _require(
+        value in choices,
+        f"{what} {value!r} is not one of {sorted(choices)}",
+    )
+    return value
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """The graph axis: a named family instantiated at one or more sizes."""
+
+    family: str = "gnp"
+    sizes: Tuple[int, ...] = (200,)
+    density: float = 0.1
+    seed: int = 1
+    backend: str = "dict"
+
+    def __post_init__(self) -> None:
+        _check_choice(self.family, GRAPH_FAMILIES, "graph family")
+        _check_choice(self.backend, GRAPH_BACKENDS, "graph backend")
+        _require(len(self.sizes) >= 1, "graph sizes must be non-empty")
+        _require(
+            all(isinstance(n, int) and n >= 2 for n in self.sizes),
+            f"graph sizes must be integers >= 2, got {list(self.sizes)}",
+        )
+        _require(self.density > 0, "graph density must be positive")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "sizes": list(self.sizes),
+            "density": self.density,
+            "seed": self.seed,
+            "backend": self.backend,
+        }
+
+
+@dataclass(frozen=True)
+class MaterializeSpec:
+    """The offline-engine axis: query mode or parallel executor."""
+
+    mode: str = "batched"
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self.mode, QUERY_MODES, "materialize mode")
+        if self.executor is not None:
+            _check_choice(self.executor, tuple(EXECUTOR_BACKENDS), "executor")
+            _require(
+                self.mode == "batched",
+                "an executor always runs the batched engine; drop mode or executor",
+            )
+        if self.workers is not None:
+            _require(self.workers >= 1, "workers must be >= 1")
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"mode": self.mode}
+        if self.executor is not None:
+            payload["executor"] = self.executor
+        if self.workers is not None:
+            payload["workers"] = self.workers
+        return payload
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """A deterministic churn burst applied before materialization."""
+
+    ops: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.ops >= 0, "mutation ops must be >= 0")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"ops": self.ops, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The online request stream served during the service phase."""
+
+    kind: str = "uniform"
+    requests: int = 500
+    seed: int = 0
+    #: Zipf skew exponent (``zipf`` only).
+    skew: Optional[float] = None
+    #: Write fraction (``churn`` only).
+    write_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self.kind, tuple(WORKLOAD_KINDS), "workload kind")
+        _require(self.kind != "trace", "trace workloads need a recording; use the CLI")
+        _require(self.requests >= 1, "workload requests must be >= 1")
+        if self.skew is not None:
+            _require(self.kind == "zipf", "skew only applies to the zipf workload")
+        if self.write_ratio is not None:
+            _require(
+                self.kind == "churn", "write_ratio only applies to the churn workload"
+            )
+            _require(0.0 <= self.write_ratio <= 1.0, "write_ratio must be in [0, 1]")
+
+    def options(self) -> Dict[str, object]:
+        """Keyword options for :func:`repro.service.make_workload`."""
+        options: Dict[str, object] = {}
+        if self.skew is not None:
+            options["skew"] = self.skew
+        if self.write_ratio is not None:
+            options["write_ratio"] = self.write_ratio
+        return options
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "requests": self.requests,
+            "seed": self.seed,
+        }
+        payload.update(self.options())
+        return payload
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Engine knobs for the service phase (a ``ServiceConfig`` subset)."""
+
+    shards: int = 2
+    routing: str = "hash"
+    batch_size: int = 32
+    max_queue_depth: int = 1024
+    arrival_burst: Optional[int] = None
+    coalesce: bool = True
+    executor: str = "serial"
+    max_inflight: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.shards >= 1, "service shards must be >= 1")
+        _check_choice(self.routing, tuple(ROUTING_POLICIES), "routing policy")
+        _require(self.batch_size >= 1, "batch_size must be >= 1")
+        _require(self.max_queue_depth >= 1, "max_queue_depth must be >= 1")
+        if self.arrival_burst is not None:
+            _require(self.arrival_burst >= 1, "arrival_burst must be >= 1")
+        _check_choice(self.executor, tuple(PINNED_BACKENDS), "service executor")
+        _require(self.max_inflight >= 1, "max_inflight must be >= 1")
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "shards": self.shards,
+            "routing": self.routing,
+            "batch_size": self.batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "coalesce": self.coalesce,
+            "executor": self.executor,
+            "max_inflight": self.max_inflight,
+        }
+        if self.arrival_burst is not None:
+            payload["arrival_burst"] = self.arrival_burst
+        return payload
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment: every axis the planes expose, as data."""
+
+    name: str
+    algorithm: str = "spanner3"
+    seed: int = 7
+    description: str = ""
+    graph: GraphSpec = field(default_factory=GraphSpec)
+    materialize: MaterializeSpec = field(default_factory=MaterializeSpec)
+    mutations: MutationSpec = field(default_factory=MutationSpec)
+    workload: Optional[WorkloadSpec] = None
+    service: ServiceSpec = field(default_factory=ServiceSpec)
+    #: Extra keyword arguments for the LCA factory (e.g. ``stretch_parameter``
+    #: for ``spannerk``).  Values must be JSON-serializable.
+    algorithm_options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario name must be non-empty")
+        _require(
+            all(c.isalnum() or c in "-_." for c in self.name),
+            f"scenario name {self.name!r} may only contain [a-zA-Z0-9-_.] "
+            "(it becomes a results filename)",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """The spec as plain data (stored verbatim next to its results)."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "graph": self.graph.as_dict(),
+            "materialize": self.materialize.as_dict(),
+        }
+        if self.description:
+            payload["description"] = self.description
+        if self.algorithm_options:
+            payload["algorithm_options"] = dict(self.algorithm_options)
+        if self.mutations.ops:
+            payload["mutations"] = self.mutations.as_dict()
+        if self.workload is not None:
+            payload["workload"] = self.workload.as_dict()
+            payload["service"] = self.service.as_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object], source: str = "<dict>") -> "ScenarioSpec":
+        """Build and validate a spec from parsed TOML/JSON data."""
+        if not isinstance(data, dict):
+            raise SpecError(f"{source}: scenario must be a table, got {type(data).__name__}")
+        known = {
+            "name",
+            "algorithm",
+            "seed",
+            "description",
+            "graph",
+            "materialize",
+            "mutations",
+            "workload",
+            "service",
+            "algorithm_options",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"{source}: unknown scenario keys {unknown}")
+        name = str(data.get("name", ""))
+        try:
+            workload_data = data.get("workload")
+            return cls(
+                name=name,
+                algorithm=str(data.get("algorithm", "spanner3")),
+                seed=int(data.get("seed", 7)),
+                description=str(data.get("description", "")),
+                graph=_sub(GraphSpec, data.get("graph"), "graph"),
+                materialize=_sub(MaterializeSpec, data.get("materialize"), "materialize"),
+                mutations=_sub(MutationSpec, data.get("mutations"), "mutations"),
+                workload=(
+                    _sub(WorkloadSpec, workload_data, "workload")
+                    if workload_data is not None
+                    else None
+                ),
+                service=_sub(ServiceSpec, data.get("service"), "service"),
+                algorithm_options=dict(data.get("algorithm_options", {})),
+            )
+        except SpecError as exc:
+            raise SpecError(f"{source}: scenario {name!r}: {exc}") from None
+        except (ValueError, TypeError) as exc:
+            # Wrong-typed values (e.g. seed = "fast", a list where a table
+            # belongs) must fail the same way typos do: one clean SpecError,
+            # before any graph is built.
+            raise SpecError(f"{source}: scenario {name!r}: {exc}") from None
+
+
+def _sub(spec_cls, data: Optional[Dict[str, object]], what: str):
+    """Instantiate a sub-spec dataclass from an optional sub-table."""
+    if data is None:
+        return spec_cls()
+    if not isinstance(data, dict):
+        raise SpecError(f"{what} must be a table, got {type(data).__name__}")
+    fields = {f for f in spec_cls.__dataclass_fields__}
+    unknown = sorted(set(data) - fields)
+    if unknown:
+        raise SpecError(f"unknown {what} keys {unknown}; known: {sorted(fields)}")
+    kwargs = dict(data)
+    if "sizes" in kwargs:
+        sizes = kwargs["sizes"]
+        if isinstance(sizes, int):
+            sizes = [sizes]
+        if not isinstance(sizes, (list, tuple)):
+            raise SpecError(f"graph sizes must be a list, got {type(sizes).__name__}")
+        kwargs["sizes"] = tuple(int(n) for n in sizes)
+    return spec_cls(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# File loading
+# --------------------------------------------------------------------------- #
+def _load_toml(path: Path) -> Dict[str, object]:
+    """Parse a TOML spec file: :mod:`tomllib` on 3.11+, a subset parser on 3.10.
+
+    The fallback covers exactly what scenario specs use — ``[table]`` /
+    ``[[array-of-tables]]`` headers, ``key = value`` with strings, ints,
+    floats, booleans and flat arrays, and ``#`` comments — and produces the
+    same structure tomllib would for those files.
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10 (python_requires floor)
+        return _parse_toml_subset(path)
+    with path.open("rb") as handle:
+        return tomllib.load(handle)
+
+
+def _parse_toml_subset(path: Path) -> Dict[str, object]:
+    root: Dict[str, object] = {}
+    current = root
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = _strip_toml_comment(raw).strip()
+        if not line:
+            continue
+        where = f"{path}:{lineno}"
+        if line.startswith("[[") and line.endswith("]]"):
+            parent = _descend(root, line[2:-2].split(".")[:-1], where)
+            entry: Dict[str, object] = {}
+            existing = parent.setdefault(line[2:-2].split(".")[-1], [])
+            if not isinstance(existing, list):
+                raise SpecError(f"{where}: {line} clashes with an earlier table/value")
+            existing.append(entry)
+            current = entry
+        elif line.startswith("[") and line.endswith("]"):
+            parts = line[1:-1].split(".")
+            parent = _descend(root, parts[:-1], where)
+            current = parent.setdefault(parts[-1], {})
+            if not isinstance(current, dict):
+                raise SpecError(f"{where}: table name {line} clashes with a value")
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            current[key.strip()] = _toml_value(value.strip(), where)
+        else:
+            raise SpecError(f"{where}: cannot parse line {raw!r}")
+    return root
+
+
+def _strip_toml_comment(line: str) -> str:
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _descend(root: Dict[str, object], parts: List[str], where: str) -> Dict[str, object]:
+    node: object = root
+    for part in parts:
+        if isinstance(node, dict):
+            node = node.setdefault(part, {})
+        if isinstance(node, list):
+            if not node:
+                raise SpecError(f"{where}: [[{part}]] must precede its sub-tables")
+            node = node[-1]
+        if not isinstance(node, dict):
+            raise SpecError(f"{where}: {part!r} is not a table")
+    return node
+
+
+def _split_toml_array(inner: str) -> List[str]:
+    """Split array items on commas outside double quotes."""
+    items: List[str] = []
+    current: List[str] = []
+    in_string = False
+    for char in inner:
+        if char == '"':
+            in_string = not in_string
+        if char == "," and not in_string:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    items.append("".join(current))
+    return [item.strip() for item in items if item.strip()]
+
+
+def _toml_value(text: str, where: str) -> object:
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_toml_value(item, where) for item in _split_toml_array(inner)]
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise SpecError(f"{where}: unsupported TOML value {text!r}") from None
+
+
+def load_scenario_file(path: Union[str, Path]) -> List[ScenarioSpec]:
+    """Load every scenario from one TOML or JSON spec file.
+
+    TOML files use either top-level scenario keys or ``[[scenario]]``
+    tables; JSON files the analogous object or ``{"scenario": [...]}``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file {path} does not exist")
+    if path.suffix.lower() == ".json":
+        data = json.loads(path.read_text(encoding="utf-8"))
+    elif path.suffix.lower() == ".toml":
+        data = _load_toml(path)
+    else:
+        raise SpecError(f"spec file {path} must be .toml or .json")
+    if not isinstance(data, dict):
+        raise SpecError(f"{path}: spec file must hold a table/object at top level")
+    if "scenario" in data:
+        entries = data["scenario"]
+        if not isinstance(entries, list):
+            raise SpecError(f"{path}: 'scenario' must be an array of tables")
+    else:
+        entries = [data]
+    specs = [ScenarioSpec.from_dict(entry, source=str(path)) for entry in entries]
+    names = [spec.name for spec in specs]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise SpecError(f"{path}: duplicate scenario names {duplicates}")
+    return specs
+
+
+def load_scenarios(paths: Sequence[Union[str, Path]]) -> List[ScenarioSpec]:
+    """Load scenarios from files and/or directories (``*.toml`` + ``*.json``).
+
+    Directories are scanned non-recursively in sorted order; duplicate
+    scenario names across the whole batch are an error (results files would
+    overwrite each other).
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(
+                p for p in path.iterdir() if p.suffix.lower() in (".toml", ".json")
+            )
+            if not found:
+                raise SpecError(f"directory {path} holds no .toml/.json spec files")
+            files.extend(found)
+        else:
+            files.append(path)
+    specs: List[ScenarioSpec] = []
+    seen: Dict[str, Path] = {}
+    for file in files:
+        for spec in load_scenario_file(file):
+            if spec.name in seen:
+                raise SpecError(
+                    f"scenario {spec.name!r} defined in both {seen[spec.name]} and {file}"
+                )
+            seen[spec.name] = file
+            specs.append(spec)
+    return specs

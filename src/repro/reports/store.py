@@ -1,0 +1,108 @@
+"""Versioned artifact store for scenario results.
+
+One scenario run becomes one JSON document under the results directory
+(default ``results/``), named after the scenario.  Each document separates
+two kinds of data:
+
+* ``result`` — the deterministic payload
+  (:meth:`~repro.reports.runner.ScenarioResult.as_dict`): everything the
+  report generator reads.  Same spec + same seeds ⇒ byte-identical payload.
+* ``environment`` / ``wall_seconds`` — provenance that legitimately varies
+  between hosts and runs (interpreter, platform, wall-clock duration).  The
+  renderer never reads these, which is what makes ``repro report render``
+  reproducible.
+
+Documents carry a ``store_schema`` version so future layout changes can
+migrate old results instead of silently misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.errors import ReproError
+from .runner import ScenarioResult
+
+#: Document layout version written by :meth:`ResultStore.save`.
+STORE_SCHEMA = 1
+
+#: Default results directory (relative to the invocation cwd).
+DEFAULT_RESULTS_DIR = "results"
+
+
+class StoreError(ReproError):
+    """A results document is missing or malformed."""
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """Provenance of the host a result was produced on (never rendered)."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+class ResultStore:
+    """Save / load scenario-result documents in one results directory."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_RESULTS_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def save(
+        self, result: ScenarioResult, wall_seconds: Optional[float] = None
+    ) -> Path:
+        """Write one result document; returns the path written."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = {
+            "store_schema": STORE_SCHEMA,
+            "environment": environment_fingerprint(),
+            "wall_seconds": (
+                round(float(wall_seconds), 3) if wall_seconds is not None else None
+            ),
+            "result": result.as_dict(),
+        }
+        path = self.path_for(result.name)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def load(self, name: str) -> Dict[str, object]:
+        """The deterministic ``result`` payload of one stored scenario."""
+        path = self.path_for(name)
+        if not path.exists():
+            raise StoreError(f"no stored result {name!r} under {self.root}")
+        return self._payload(path)
+
+    def list(self) -> List[str]:
+        """Stored scenario names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def load_all(self) -> List[Dict[str, object]]:
+        """Every stored payload, sorted by scenario name."""
+        return [self.load(name) for name in self.list()]
+
+    def _payload(self, path: Path) -> Dict[str, object]:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{path} is not valid JSON: {exc}") from None
+        if not isinstance(document, dict) or "result" not in document:
+            raise StoreError(f"{path} is not a scenario-result document")
+        schema = document.get("store_schema")
+        if schema != STORE_SCHEMA:
+            raise StoreError(
+                f"{path} has store schema {schema!r}; this build reads {STORE_SCHEMA}"
+            )
+        return document["result"]

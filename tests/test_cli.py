@@ -370,3 +370,74 @@ def test_serve_bench_runs_the_churn_workload(graph_file, capsys, tmp_path):
         payload["offered"]
         == payload["admitted"] + payload["rejected"] + payload["mutations"]
     )
+
+
+def _write_report_spec(tmp_path):
+    spec_path = tmp_path / "suite.toml"
+    spec_path.write_text(
+        "\n".join(
+            [
+                "[[scenario]]",
+                'name = "cli-report"',
+                'algorithm = "spanner3"',
+                "seed = 7",
+                "[scenario.graph]",
+                'family = "gnp"',
+                "sizes = [40]",
+                "density = 0.2",
+                "seed = 3",
+                "[scenario.workload]",
+                'kind = "uniform"',
+                "requests = 30",
+                "seed = 1",
+                "[scenario.service]",
+                "shards = 2",
+                "batch_size = 8",
+                "",
+            ]
+        ),
+        encoding="utf-8",
+    )
+    return spec_path
+
+
+def test_report_run_and_render_commands(tmp_path, capsys):
+    spec_path = _write_report_spec(tmp_path)
+    results = tmp_path / "results"
+    assert main(["report", "run", str(spec_path), "--results", str(results)]) == 0
+    assert "cli-report" in capsys.readouterr().out
+    assert (results / "cli-report.json").exists()
+
+    out_path = tmp_path / "report.md"
+    code = main(
+        ["report", "render", "--results", str(results), "--out", str(out_path)]
+    )
+    assert code == 0
+    markdown = out_path.read_text(encoding="utf-8")
+    assert "## Probe complexity vs n" in markdown
+    assert "## Service latency percentiles (virtual time)" in markdown
+    assert "cli-report" in markdown
+
+    # Without --out the report is printed.
+    assert main(["report", "render", "--results", str(results)]) == 0
+    assert "# Scenario report" in capsys.readouterr().out
+
+
+def test_report_run_smoke_flag_marks_results(tmp_path, capsys):
+    spec_path = _write_report_spec(tmp_path)
+    results = tmp_path / "results"
+    code = main(
+        ["report", "run", str(spec_path), "--results", str(results), "--smoke"]
+    )
+    assert code == 0
+    import json
+
+    document = json.loads((results / "cli-report.json").read_text())
+    assert document["result"]["smoke"] is True
+
+
+def test_report_commands_fail_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="report run:"):
+        main(["report", "run", str(tmp_path / "missing.toml")])
+    with pytest.raises(SystemExit, match="no results"):
+        main(["report", "render", "--results", str(tmp_path / "empty")])

@@ -45,3 +45,20 @@ def test_examples_directory_has_quickstart_plus_scenarios():
     scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
     assert "quickstart.py" in scripts
     assert len(scripts) >= 4  # quickstart plus at least three scenarios
+
+
+def test_every_example_is_covered_by_a_case():
+    """No example may be skipped: adding a script without a CASES entry
+    (and therefore without a smoke run) is a test failure, not a gap."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for (script, _args) in CASES}
+    assert scripts == covered, (
+        f"examples without a smoke-test case: {sorted(scripts - covered)}; "
+        f"cases without a script: {sorted(covered - scripts)}"
+    )
+
+
+def test_examples_readme_catalogs_every_example():
+    readme = (EXAMPLES_DIR / "README.md").read_text(encoding="utf-8")
+    for script in (p.name for p in EXAMPLES_DIR.glob("*.py")):
+        assert script in readme, f"examples/README.md does not mention {script}"

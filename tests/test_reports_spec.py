@@ -1,0 +1,194 @@
+"""Scenario-spec loading and validation (repro.reports.spec)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.reports import (
+    ScenarioSpec,
+    SpecError,
+    load_scenario_file,
+    load_scenarios,
+)
+
+SCENARIOS_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+MINIMAL = {"name": "tiny", "graph": {"family": "gnp", "sizes": [40]}}
+
+
+def test_minimal_spec_fills_defaults():
+    spec = ScenarioSpec.from_dict(dict(MINIMAL))
+    assert spec.name == "tiny"
+    assert spec.algorithm == "spanner3"
+    assert spec.graph.sizes == (40,)
+    assert spec.graph.backend == "dict"
+    assert spec.materialize.mode == "batched"
+    assert spec.workload is None
+    assert spec.mutations.ops == 0
+
+
+def test_spec_round_trips_through_as_dict():
+    data = {
+        "name": "round-trip",
+        "algorithm": "spannerk",
+        "seed": 5,
+        "algorithm_options": {"stretch_parameter": 3},
+        "graph": {"family": "bounded", "sizes": [60, 80], "backend": "csr"},
+        "mutations": {"ops": 4, "seed": 2},
+        "workload": {"kind": "zipf", "requests": 50, "seed": 1, "skew": 1.3},
+        "service": {"shards": 2, "batch_size": 8},
+    }
+    spec = ScenarioSpec.from_dict(data)
+    again = ScenarioSpec.from_dict(spec.as_dict())
+    assert again == spec
+
+
+@pytest.mark.parametrize(
+    "mutation, message",
+    [
+        ({"name": ""}, "name"),
+        ({"name": "bad name with spaces"}, "name"),
+        ({"algorithm_options": {}, "unknown_key": 1}, "unknown"),
+        ({"graph": {"family": "nope"}}, "family"),
+        ({"graph": {"family": "gnp", "sizes": []}}, "sizes"),
+        ({"graph": {"backend": "sparse"}}, "backend"),
+        ({"materialize": {"mode": "warp"}}, "mode"),
+        ({"materialize": {"mode": "cold", "executor": "serial"}}, "batched"),
+        ({"workload": {"kind": "trace"}}, "trace"),
+        ({"workload": {"kind": "uniform", "skew": 2.0}}, "skew"),
+        ({"workload": {"kind": "uniform", "write_ratio": 0.5}}, "write_ratio"),
+        ({"workload": {"kind": "churn", "write_ratio": 1.5}}, "write_ratio"),
+        ({"service": {"routing": "teleport"}}, "routing"),
+        ({"mutations": {"ops": -1}}, "ops"),
+    ],
+)
+def test_invalid_specs_raise_spec_errors(mutation, message):
+    data = dict(MINIMAL)
+    data.update(mutation)
+    if "workload" in mutation or "service" in mutation:
+        data.setdefault("workload", {"kind": "uniform", "requests": 10})
+    with pytest.raises(SpecError) as excinfo:
+        ScenarioSpec.from_dict(data)
+    assert message.lower() in str(excinfo.value).lower()
+
+
+def test_unknown_subtable_keys_are_rejected():
+    with pytest.raises(SpecError, match="unknown graph keys"):
+        ScenarioSpec.from_dict({"name": "x", "graph": {"famly": "gnp"}})
+
+
+def test_graph_spec_accepts_scalar_size():
+    spec = ScenarioSpec.from_dict({"name": "s", "graph": {"sizes": 50}})
+    assert spec.graph.sizes == (50,)
+
+
+def test_load_json_spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(MINIMAL), encoding="utf-8")
+    (spec,) = load_scenario_file(path)
+    assert spec.name == "tiny"
+
+
+def test_load_toml_spec_file_with_scenario_array(tmp_path):
+    path = tmp_path / "suite.toml"
+    path.write_text(
+        '[[scenario]]\nname = "a"\n[scenario.graph]\nsizes = [30]\n\n'
+        '[[scenario]]\nname = "b"\n[scenario.graph]\nsizes = [30]\n',
+        encoding="utf-8",
+    )
+    specs = load_scenario_file(path)
+    assert [spec.name for spec in specs] == ["a", "b"]
+
+
+def test_duplicate_names_within_file_rejected(tmp_path):
+    path = tmp_path / "dup.toml"
+    path.write_text(
+        '[[scenario]]\nname = "a"\n\n[[scenario]]\nname = "a"\n', encoding="utf-8"
+    )
+    with pytest.raises(SpecError, match="duplicate"):
+        load_scenario_file(path)
+
+
+def test_duplicate_names_across_files_rejected(tmp_path):
+    for stem in ("one", "two"):
+        (tmp_path / f"{stem}.toml").write_text('name = "same"\n', encoding="utf-8")
+    with pytest.raises(SpecError, match="defined in both"):
+        load_scenarios([tmp_path])
+
+
+def test_missing_file_and_bad_suffix(tmp_path):
+    with pytest.raises(SpecError, match="does not exist"):
+        load_scenario_file(tmp_path / "nope.toml")
+    bad = tmp_path / "spec.yaml"
+    bad.write_text("name: x\n", encoding="utf-8")
+    with pytest.raises(SpecError, match=".toml or .json"):
+        load_scenario_file(bad)
+
+
+def test_curated_scenarios_directory_parses():
+    """Every shipped spec under scenarios/ must load (no drift)."""
+    specs = load_scenarios([SCENARIOS_DIR])
+    names = [spec.name for spec in specs]
+    assert len(names) == len(set(names))
+    assert len(specs) >= 6
+    algorithms = {spec.algorithm for spec in specs}
+    assert {"spanner3", "spanner5", "spannerk"} <= algorithms
+    backends = {spec.graph.backend for spec in specs}
+    assert backends == {"dict", "csr"}
+    kinds = {spec.workload.kind for spec in specs if spec.workload is not None}
+    assert "churn" in kinds
+
+
+def test_smoke_suite_covers_acceptance_matrix():
+    """smoke.toml: spanner3 and spannerk on both backends, each with serving."""
+    specs = load_scenario_file(SCENARIOS_DIR / "smoke.toml")
+    seen = {(spec.algorithm, spec.graph.backend) for spec in specs}
+    assert {
+        ("spanner3", "dict"),
+        ("spanner3", "csr"),
+        ("spannerk", "dict"),
+        ("spannerk", "csr"),
+    } <= seen
+    assert all(spec.workload is not None for spec in specs)
+
+
+def test_toml_subset_parser_matches_tomllib_on_shipped_specs():
+    """The 3.10 fallback parser must agree with tomllib on every curated spec."""
+    tomllib = pytest.importorskip("tomllib")
+    from repro.reports.spec import _parse_toml_subset
+
+    for path in sorted(SCENARIOS_DIR.glob("*.toml")):
+        with path.open("rb") as handle:
+            expected = tomllib.load(handle)
+        assert _parse_toml_subset(path) == expected, path.name
+
+
+def test_wrong_typed_values_become_spec_errors():
+    """Type errors in values must surface as SpecError, not raw tracebacks."""
+    for bad in (
+        {"name": "t", "seed": "fast"},
+        {"name": "t", "algorithm_options": [1, 2]},
+        {"name": "t", "graph": {"density": "0.5"}},
+    ):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(bad)
+
+
+def test_subset_parser_rejects_table_array_clash(tmp_path):
+    from repro.reports.spec import _parse_toml_subset
+
+    path = tmp_path / "clash.toml"
+    path.write_text('[scenario]\nname = "a"\n\n[[scenario]]\nname = "b"\n')
+    with pytest.raises(SpecError, match="clashes"):
+        _parse_toml_subset(path)
+
+
+def test_subset_parser_handles_commas_inside_quoted_strings(tmp_path):
+    from repro.reports.spec import _parse_toml_subset
+
+    path = tmp_path / "quoted.toml"
+    path.write_text('tags = ["a, b", "c"]\ncounts = [1, 2, 3]\n')
+    assert _parse_toml_subset(path) == {"tags": ["a, b", "c"], "counts": [1, 2, 3]}

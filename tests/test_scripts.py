@@ -1,0 +1,47 @@
+"""CI gate scripts: docstring coverage and Markdown link checking."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO_ROOT / "scripts"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPTS / script), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+def test_check_docs_passes_on_the_tree():
+    completed = _run("check_docs.py")
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout
+
+
+def test_check_links_passes_on_repo_markdown():
+    completed = _run("check_links.py")
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout
+
+
+def test_check_links_flags_broken_relative_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "see [good](page.md) and [bad](missing/page.md)\n", encoding="utf-8"
+    )
+    completed = _run("check_links.py", str(page))
+    assert completed.returncode == 1
+    assert "missing/page.md" in completed.stdout
+
+
+def test_check_links_rejects_missing_target(tmp_path):
+    completed = _run("check_links.py", str(tmp_path / "ghost.md"))
+    assert completed.returncode == 2
