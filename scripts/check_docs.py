@@ -37,6 +37,10 @@ ENTRY_POINTS = [
     "repro.analysis.harness:evaluate_lca",
     "repro.service.engine:ServiceEngine",
     "repro.service.workload:make_workload",
+    "repro.faults.plan:FaultPlan",
+    "repro.faults.plan:FaultPlan.generate",
+    "repro.faults.injector:FaultInjector",
+    "repro.exec.backends:call_with_retries",
     "repro.reports.spec:ScenarioSpec",
     "repro.reports.runner:run_scenario",
     "repro.reports.render:render_report",

@@ -33,6 +33,9 @@ Usage examples::
     python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
         --workload zipf --requests 2000 --shards 4 --batch-size 32 \
         --executor thread
+    python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
+        --workload churn --requests 2000 --shards 4 --replication 2 \
+        --crashes 4 --flaky 2 --fault-seed 9
     python -m repro.cli report run scenarios/smoke.toml --smoke
     python -m repro.cli report render --out report.md
 
@@ -54,9 +57,11 @@ from .analysis import evaluate_lca, exponent_row, format_table, run_sweep
 from .core.errors import GraphError, UnknownVertexError
 from .core.registry import available, create
 from .exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
+from .faults import FaultPlan, FaultPlanError
 from .graphs.io import read_edge_list, write_edge_list
 from .lowerbound import run_distinguishing_experiment
 from .service import (
+    DEGRADED_MODES,
     ROUTING_POLICIES,
     WORKLOAD_KINDS,
     ServiceConfig,
@@ -231,6 +236,27 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _build_fault_plan(args) -> Optional[FaultPlan]:
+    """Resolve serve-bench fault flags into a plan (file wins over knobs)."""
+    if args.fault_plan:
+        try:
+            return FaultPlan.from_file(args.fault_plan)
+        except (FaultPlanError, OSError, ValueError) as exc:
+            raise SystemExit(f"serve-bench: --fault-plan: {exc}")
+    if args.crashes or args.shard_losses or args.slow or args.flaky:
+        return FaultPlan.generate(
+            args.fault_seed,
+            num_shards=args.shards,
+            replication=args.replication,
+            horizon=args.fault_horizon,
+            crashes=args.crashes,
+            shard_losses=args.shard_losses,
+            slow=args.slow,
+            flaky=args.flaky,
+        )
+    return None
+
+
 def cmd_serve_bench(args) -> int:
     graph = _load_graph(args)
     workload_options = {}
@@ -242,13 +268,19 @@ def cmd_serve_bench(args) -> int:
         workload_options["skew"] = args.skew
     if args.workload == "churn":
         workload_options["write_ratio"] = args.write_ratio
-    workload = make_workload(
-        args.workload,
-        graph,
-        num_requests=args.requests,
-        seed=args.workload_seed,
-        **workload_options,
-    )
+    try:
+        workload = make_workload(
+            args.workload,
+            graph,
+            num_requests=args.requests,
+            seed=args.workload_seed,
+            **workload_options,
+        )
+    except OSError as exc:
+        raise SystemExit(f"serve-bench: cannot read trace: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"serve-bench: {exc}")
+    fault_plan = _build_fault_plan(args)
     config = ServiceConfig(
         num_shards=args.shards,
         routing=args.routing,
@@ -260,11 +292,19 @@ def cmd_serve_bench(args) -> int:
         executor=args.executor,
         workers=args.workers,
         max_inflight=args.max_inflight,
+        replication=args.replication,
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
+        timeout_ticks=args.timeout_ticks,
+        degraded_mode=args.degraded_mode,
     )
     engine = ServiceEngine(
         graph, lambda g: create(args.algorithm, g, seed=args.seed), config
     )
-    report = engine.run(workload)
+    try:
+        report = engine.run(workload)
+    except FaultPlanError as exc:
+        raise SystemExit(f"serve-bench: {exc}")
     print(format_table([report.as_row()], title="Service run"))
     shard_rows = [
         {
@@ -277,6 +317,10 @@ def cmd_serve_bench(args) -> int:
         for r in report.shard_reports
     ]
     print(format_table(shard_rows, title="Per-shard telemetry"))
+    if report.faults:
+        fault_row = {"availability": round(report.availability, 4)}
+        fault_row.update(report.faults)
+        print(format_table([fault_row], title="Fault plane"))
     if args.json:
         import json
 
@@ -340,7 +384,12 @@ def cmd_report_run(args) -> int:
     store = ResultStore(args.results)
     for spec in specs:
         started = _time.perf_counter()
-        result = run_scenario(spec, smoke=args.smoke)
+        try:
+            result = run_scenario(spec, smoke=args.smoke)
+        except OSError as exc:
+            raise SystemExit(f"report run: {spec.name}: {exc}")
+        except (FaultPlanError, ValueError) as exc:
+            raise SystemExit(f"report run: {spec.name}: {exc}")
         path = store.save(result, wall_seconds=_time.perf_counter() - started)
         sizes = ", ".join(str(row.n) for row in result.sizes)
         phases = [f"n = {sizes}"] + (["service"] if result.service is not None else [])
@@ -578,6 +627,53 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-inflight", type=_positive_int, default=1,
         help="dispatched-but-uncompleted batch limit (pipelining depth)",
+    )
+    serve.add_argument(
+        "--replication", type=_positive_int, default=1,
+        help="replicas per shard (replica sets with automatic failover; "
+        "answers are identical at any replication factor)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        help="JSON fault plan to inject (see docs/faults.md); overrides the "
+        "--crashes/--shard-losses/--slow/--flaky generator knobs",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the generated fault plan",
+    )
+    serve.add_argument(
+        "--fault-horizon", type=_positive_int, default=64,
+        help="scheduling-cycle horizon fault events are drawn from",
+    )
+    serve.add_argument(
+        "--crashes", type=int, default=0,
+        help="replica crashes to inject (generated plan)",
+    )
+    serve.add_argument(
+        "--shard-losses", type=int, default=0,
+        help="whole-shard outages to inject (generated plan)",
+    )
+    serve.add_argument(
+        "--slow", type=int, default=0,
+        help="slow-batch events to inject (generated plan)",
+    )
+    serve.add_argument(
+        "--flaky", type=int, default=0,
+        help="transient oracle errors to inject (generated plan)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="resubmissions per batch on transient failure",
+    )
+    serve.add_argument(
+        "--timeout-ticks", type=_positive_int, default=64,
+        help="virtual-time budget after which a batch counts as hung",
+    )
+    serve.add_argument(
+        "--degraded-mode", choices=sorted(DEGRADED_MODES), default="answer",
+        help="all replicas of a shard down: 'answer' (explicit degraded "
+        "answers) or 'shed' (reject with a distinct reason code)",
     )
     serve.add_argument("--json", help="also write the full report to this JSON file")
     serve.set_defaults(handler=cmd_serve_bench)

@@ -65,6 +65,15 @@ class ProbeSnapshot:
             adjacency=self.adjacency - other.adjacency,
         )
 
+    def __add__(self, other: "ProbeSnapshot") -> "ProbeSnapshot":
+        # Replica-set telemetry sums per-replica snapshots into one
+        # per-shard view (see repro.service.shards.ReplicaSet).
+        return ProbeSnapshot(
+            neighbor=self.neighbor + other.neighbor,
+            degree=self.degree + other.degree,
+            adjacency=self.adjacency + other.adjacency,
+        )
+
     def __reduce__(self):
         # Compact pickling: snapshots travel by the tens of thousands in
         # parallel-execution chunk results (one per memoized query answer).

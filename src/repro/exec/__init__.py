@@ -22,13 +22,17 @@ independent of where (and next to which cache) a query runs.
 """
 
 from .backends import (
+    DEFAULT_RETRY_POLICY,
     EXECUTOR_BACKENDS,
     PINNED_BACKENDS,
     ExecutorBackend,
     PinnedWorkers,
     ProcessBackend,
+    RetryPolicy,
     SerialBackend,
     ThreadBackend,
+    TransientTaskError,
+    call_with_retries,
     check_backend,
     get_executor,
     resolve_workers,
@@ -41,6 +45,7 @@ from .plan import (
     SharedGraphRef,
     build_chunk_plans,
     execute_chunk,
+    execute_chunk_with_retries,
 )
 from .parallel import materialize_parallel
 
@@ -52,6 +57,10 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "PinnedWorkers",
+    "TransientTaskError",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "call_with_retries",
     "check_backend",
     "get_executor",
     "resolve_workers",
@@ -62,5 +71,6 @@ __all__ = [
     "SharedGraphRef",
     "build_chunk_plans",
     "execute_chunk",
+    "execute_chunk_with_retries",
     "materialize_parallel",
 ]

@@ -34,10 +34,90 @@ from __future__ import annotations
 import abc
 import os
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
 #: Registered executor backends, by name.
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+class TransientTaskError(RuntimeError):
+    """A submitted task failed in a way the submitter may safely retry.
+
+    The retry contract: a task raising this error has had **no observable
+    effect** (no partial answers folded back, no state mutated), so
+    resubmitting it — to the same worker or a replica — yields the same
+    result a first-time success would have.  Pure LCA query batches satisfy
+    this trivially; the fault-injection layer
+    (:class:`repro.faults.TransientFaultError`) subclasses it to model
+    transient oracle errors and worker hiccups.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff, in clock *ticks*.
+
+    Backoff is charged by reading the injected clock ``backoff_ticks``
+    times — on a wall clock that is a (near-)no-op; on the deterministic
+    :class:`~repro.reports.runner.TickClock` it advances virtual time, so
+    retried batches show their backoff delay in the latency percentiles
+    while the run stays bit-reproducible.
+
+    ``max_retries`` bounds *re*-submissions: a task is attempted at most
+    ``max_retries + 1`` times before its :class:`TransientTaskError`
+    propagates to the caller.
+    """
+
+    max_retries: int = 2
+    backoff_base: int = 1
+    backoff_cap: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+
+    def backoff_ticks(self, attempt: int) -> int:
+        """Ticks to wait before re-submission number ``attempt`` (0-based)."""
+        return min(self.backoff_cap, self.backoff_base << min(attempt, 62))
+
+
+#: Default policy for retryable execution paths (3 attempts total).
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def call_with_retries(
+    fn: Callable,
+    args: tuple = (),
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    clock: Optional[Callable[[], float]] = None,
+    on_retry: Optional[Callable[[int], None]] = None,
+):
+    """Run ``fn(*args)``, retrying :class:`TransientTaskError` per ``policy``.
+
+    Backoff between attempts is charged as ``policy.backoff_ticks(attempt)``
+    readings of ``clock`` (skipped when no clock is supplied); ``on_retry``
+    observes each re-submission (for telemetry).  Any other exception — and
+    a transient error past the retry budget — propagates unchanged.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn(*args)
+        except TransientTaskError:
+            if attempt >= policy.max_retries:
+                raise
+            if clock is not None:
+                for _ in range(policy.backoff_ticks(attempt)):
+                    clock()
+            if on_retry is not None:
+                on_retry(attempt)
+            attempt += 1
+
 
 #: Backends usable for key-affine (per-shard) futures.  Process pools have
 #: no submission affinity, and shard memo state lives in-process, so the

@@ -22,19 +22,21 @@ its cold-cache probe schedule wherever it runs.
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable, List, Optional, Tuple
 
 from ..core.errors import NotAnEdgeError
 from ..core.ids import canonical_edge
 from ..core.lca import MaterializedSpanner, SpannerLCA
 from ..core.probes import ADJACENCY, DEGREE, NEIGHBOR
-from .backends import check_backend, get_executor, resolve_workers
+from .backends import RetryPolicy, check_backend, get_executor, resolve_workers
 from .plan import (
     InlineGraphRef,
     SharedGraphRef,
     build_chunk_plans,
     clear_worker_slot,
     execute_chunk,
+    execute_chunk_with_retries,
     next_run_token,
 )
 
@@ -46,8 +48,17 @@ def materialize_parallel(
     edges: Optional[Iterable[Edge]] = None,
     executor: str = "process",
     workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> MaterializedSpanner:
-    """Materialize an LCA across an executor backend (see module docstring)."""
+    """Materialize an LCA across an executor backend (see module docstring).
+
+    ``retry`` opts the scatter step into transient-failure retries: each
+    chunk runs through :func:`~repro.exec.plan.execute_chunk_with_retries`
+    under the given policy, so a worker raising
+    :class:`~repro.exec.backends.TransientTaskError` costs a resubmission
+    instead of the whole materialization.  ``None`` (the default) keeps the
+    historical fail-fast behavior.
+    """
     check_backend(executor)
     worker_count = resolve_workers(workers, executor)
     graph = lca.graph
@@ -76,7 +87,11 @@ def materialize_parallel(
             graph_ref = InlineGraphRef(graph, token=next_run_token())
         plans = build_chunk_plans(graph_ref, spec, edge_list, worker_count)
         backend = get_executor(executor, worker_count)
-        chunks = backend.map_ordered(execute_chunk, plans)
+        if retry is None:
+            step = execute_chunk
+        else:
+            step = functools.partial(execute_chunk_with_retries, policy=retry)
+        chunks = backend.map_ordered(step, plans)
     finally:
         # Failure-path hygiene: a worker raising mid-run must not leak the
         # shared-memory segment (close + unlink always run), and a failing

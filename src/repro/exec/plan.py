@@ -36,6 +36,7 @@ from ..core.probes import ProbeSnapshot
 from ..core.registry import available, create
 from ..graphs.csr import SharedCSRHandle
 from ..graphs.graph import Graph
+from .backends import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retries
 
 Edge = Tuple[int, int]
 
@@ -229,3 +230,20 @@ def execute_chunk(plan: ChunkPlan) -> ChunkResult:
         probes=lca.probe_counter.snapshot() - before,
         cache=oracle.snapshot_state(since=cursor),
     )
+
+
+def execute_chunk_with_retries(
+    plan: ChunkPlan, policy: RetryPolicy = DEFAULT_RETRY_POLICY
+) -> ChunkResult:
+    """:func:`execute_chunk` with transient-failure retries.
+
+    Chunk execution is pure with respect to coordinator state — answers and
+    probe snapshots only leave the worker in the returned
+    :class:`ChunkResult`, and the incremental cache cursor advances only on
+    a completed export — so rerunning a chunk after a
+    :class:`~repro.exec.backends.TransientTaskError` (a worker hiccup, an
+    injected fault) is safe: the retried result is bit-identical to a
+    first-attempt success.  Exhausted retries propagate the transient error
+    to the coordinator, which surfaces it like any other worker failure.
+    """
+    return call_with_retries(execute_chunk, (plan,), policy=policy)

@@ -76,24 +76,35 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     exit (bpo-39959).  Python 3.13 grew ``track=False`` for exactly this;
     on older versions the tracker's register hook is muted for the duration
     of the attach.
+
+    A missing segment (never created, or already unlinked by its exporter —
+    e.g. a worker attaching after the pool shut down) surfaces as a
+    :class:`RuntimeError` naming the segment, not a bare ``FileNotFoundError``
+    from the depths of ``shared_memory``.
     """
     try:
-        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
-    except TypeError:
-        pass
-    from multiprocessing import resource_tracker
+        try:
+            return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        except TypeError:
+            pass
+        from multiprocessing import resource_tracker
 
-    original = resource_tracker.register
+        original = resource_tracker.register
 
-    def _skip_shared_memory(segment_name, rtype):  # pragma: no cover - shim
-        if rtype != "shared_memory":
-            original(segment_name, rtype)
+        def _skip_shared_memory(segment_name, rtype):  # pragma: no cover - shim
+            if rtype != "shared_memory":
+                original(segment_name, rtype)
 
-    resource_tracker.register = _skip_shared_memory
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except FileNotFoundError:
+        raise RuntimeError(
+            f"shared CSR segment {name!r} does not exist (never exported, "
+            "or already unlinked by its exporting owner)"
+        ) from None
 
 
 class CSRGraph(Graph):
@@ -527,9 +538,12 @@ class SharedCSRGraph(CSRGraph):
         """Release the memoryviews and close this attachment's mapping.
 
         The graph is unusable afterwards.  The segment itself lives until
-        the exporting owner unlinks it.
+        the exporting owner unlinks it.  Detaching twice (or detaching an
+        attachment whose construction failed partway) is a no-op — the
+        ``getattr`` default covers ``__init__`` raising before ``_shm`` is
+        bound, e.g. on a size-mismatched segment.
         """
-        if self._shm is None:
+        if getattr(self, "_shm", None) is None:
             return
         for name in ("_ids", "_indptr", "_indices", "_view"):
             view = getattr(self, name, None)

@@ -12,6 +12,9 @@ would show, built only from the deterministic payloads the store holds:
 * **Service latency percentiles** — virtual-time p50/p90/p95/p99 per
   scenario workload (ticks of the deterministic scheduler clock, reported
   as ms), plus throughput-shaped counters (served / rejected / batches).
+* **Fault tolerance** — availability and fault-plane counters (failovers,
+  retries, timeouts, degraded answers/sheds) for every scenario that ran
+  with a ``[scenario.faults]`` chaos plan.
 
 Rendering is a pure function of the payloads: rows are sorted by scenario
 name (then size), floats are formatted by the shared table formatter, and
@@ -157,6 +160,31 @@ def _latency_rows(results: Sequence[Dict[str, object]]) -> List[Dict[str, object
     return rows
 
 
+def _fault_rows(results: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    rows = []
+    for payload in results:
+        service = payload.get("service")
+        if not service or not service.get("faults"):
+            continue
+        faults = service.get("faults", {})
+        rows.append(
+            {
+                "scenario": payload.get("name"),
+                "replicas": service.get("replication", 1),
+                "availability": service.get("availability"),
+                "crashes": faults.get("crashes"),
+                "shard losses": faults.get("shard_losses"),
+                "failovers": faults.get("failovers"),
+                "retries": faults.get("retries"),
+                "timeouts": faults.get("timeouts"),
+                "degraded ans": faults.get("degraded_answers"),
+                "degraded shed": faults.get("degraded_sheds"),
+                "blocked writes": faults.get("blocked_write_cycles"),
+            }
+        )
+    return rows
+
+
 def _hit_rate(service: Dict[str, object]) -> Optional[float]:
     shards = service.get("shards") or []
     hits = sum(shard.get("cache_hits", 0) for shard in shards)
@@ -188,6 +216,9 @@ def render_report(results: Sequence[Dict[str, object]]) -> str:
             _latency_rows(results),
             title="Service latency percentiles (virtual time)",
             level=2,
+        ),
+        format_markdown_table(
+            _fault_rows(results), title="Fault tolerance (chaos scenarios)", level=2
         ),
     ]
     return "\n\n".join(sections) + "\n"

@@ -43,6 +43,10 @@ Edge = Tuple[int, int]
 SMOKE_MAX_SIZE = 120
 SMOKE_MAX_REQUESTS = 150
 SMOKE_MAX_MUTATIONS = 10
+#: A smoke run only lives for a handful of scheduler cycles; faults drawn
+#: from a full-size horizon would all land after it ends, so the storm is
+#: compressed into the cycles the run actually has.
+SMOKE_MAX_FAULT_HORIZON = 4
 
 
 class TickClock:
@@ -72,7 +76,10 @@ def spec_for_smoke(spec: ScenarioSpec) -> ScenarioSpec:
     workload = spec.workload
     if workload is not None:
         workload = replace(workload, requests=min(workload.requests, SMOKE_MAX_REQUESTS))
-    return replace(spec, graph=graph, mutations=mutations, workload=workload)
+    faults = spec.faults
+    if faults is not None:
+        faults = replace(faults, horizon=min(faults.horizon, SMOKE_MAX_FAULT_HORIZON))
+    return replace(spec, graph=graph, mutations=mutations, workload=workload, faults=faults)
 
 
 # --------------------------------------------------------------------------- #
@@ -242,6 +249,9 @@ def _run_service(spec: ScenarioSpec) -> Dict[str, object]:
         **spec.workload.options(),
     )
     service = spec.service
+    fault_plan = None
+    if spec.faults is not None and spec.faults.total_events:
+        fault_plan = spec.faults.to_plan(service.shards, service.replication)
     config = ServiceConfig(
         num_shards=service.shards,
         routing=service.routing,
@@ -252,6 +262,12 @@ def _run_service(spec: ScenarioSpec) -> Dict[str, object]:
         record=False,
         executor=service.executor,
         max_inflight=service.max_inflight,
+        replication=service.replication,
+        fault_plan=fault_plan,
+        max_retries=service.max_retries,
+        timeout_ticks=service.timeout_ticks,
+        degraded_mode=service.degraded_mode,
+        checkpoint_interval=service.checkpoint_interval,
     )
     engine = ServiceEngine(
         graph,

@@ -28,7 +28,12 @@ The sub-tables mirror the layers they configure:
     exercising epoch-based cache invalidation.
 ``[scenario.workload]`` / ``[scenario.service]``
     the online phase: workload kind/size/seed/options and the
-    :class:`~repro.service.engine.ServiceConfig` knobs.
+    :class:`~repro.service.engine.ServiceConfig` knobs (including the
+    fault-tolerance knobs: replication, retries, timeout, degraded mode).
+``[scenario.faults]``
+    a seeded chaos storm injected during the service phase — crash /
+    shard-loss / slow / flaky counts over a cycle horizon, expanded into a
+    deterministic :class:`~repro.faults.FaultPlan` at run time.
 """
 
 from __future__ import annotations
@@ -40,7 +45,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ReproError
 from ..exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
+from ..faults import FaultPlan
 from ..graphs.generators import GRAPH_FAMILIES
+from ..service.engine import DEGRADED_MODES
 from ..service.shards import ROUTING_POLICIES
 from ..service.workload import WORKLOAD_KINDS
 
@@ -195,6 +202,11 @@ class ServiceSpec:
     coalesce: bool = True
     executor: str = "serial"
     max_inflight: int = 1
+    replication: int = 1
+    max_retries: int = 2
+    timeout_ticks: int = 64
+    degraded_mode: str = "answer"
+    checkpoint_interval: int = 8
 
     def __post_init__(self) -> None:
         _require(self.shards >= 1, "service shards must be >= 1")
@@ -205,6 +217,11 @@ class ServiceSpec:
             _require(self.arrival_burst >= 1, "arrival_burst must be >= 1")
         _check_choice(self.executor, tuple(PINNED_BACKENDS), "service executor")
         _require(self.max_inflight >= 1, "max_inflight must be >= 1")
+        _require(self.replication >= 1, "replication must be >= 1")
+        _require(self.max_retries >= 0, "max_retries must be >= 0")
+        _require(self.timeout_ticks >= 1, "timeout_ticks must be >= 1")
+        _check_choice(self.degraded_mode, tuple(DEGRADED_MODES), "degraded_mode")
+        _require(self.checkpoint_interval >= 1, "checkpoint_interval must be >= 1")
 
     def as_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -218,6 +235,81 @@ class ServiceSpec:
         }
         if self.arrival_burst is not None:
             payload["arrival_burst"] = self.arrival_burst
+        if self.replication != 1:
+            payload["replication"] = self.replication
+        if self.max_retries != 2:
+            payload["max_retries"] = self.max_retries
+        if self.timeout_ticks != 64:
+            payload["timeout_ticks"] = self.timeout_ticks
+        if self.degraded_mode != "answer":
+            payload["degraded_mode"] = self.degraded_mode
+        if self.checkpoint_interval != 8:
+            payload["checkpoint_interval"] = self.checkpoint_interval
+        return payload
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The chaos axis: a seeded fault storm over the service phase.
+
+    Expands to :meth:`repro.faults.FaultPlan.generate` at run time — the
+    spec stores the storm's *shape* (event counts, cycle horizon, outage
+    duration, slow-batch delay) and its seed, so the schedule is a pure
+    function of the spec plus the service topology (shards × replication).
+    """
+
+    seed: int = 0
+    horizon: int = 64
+    crashes: int = 0
+    shard_losses: int = 0
+    slow: int = 0
+    flaky: int = 0
+    duration: int = 4
+    delay: int = 3
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.horizon >= 1, "faults horizon must be >= 1")
+        _require(self.crashes >= 0, "faults crashes must be >= 0")
+        _require(self.shard_losses >= 0, "faults shard_losses must be >= 0")
+        _require(self.slow >= 0, "faults slow must be >= 0")
+        _require(self.flaky >= 0, "faults flaky must be >= 0")
+        _require(self.duration >= 1, "faults duration must be >= 1")
+        _require(self.delay >= 1, "faults delay must be >= 1")
+        _require(self.count >= 1, "faults count must be >= 1")
+
+    @property
+    def total_events(self) -> int:
+        return self.crashes + self.shard_losses + self.slow + self.flaky
+
+    def to_plan(self, num_shards: int, replication: int) -> FaultPlan:
+        """Expand into a deterministic plan for the given topology."""
+        return FaultPlan.generate(
+            seed=self.seed,
+            num_shards=num_shards,
+            replication=replication,
+            horizon=self.horizon,
+            crashes=self.crashes,
+            shard_losses=self.shard_losses,
+            slow=self.slow,
+            flaky=self.flaky,
+            duration=self.duration,
+            delay=self.delay,
+            count=self.count,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"seed": self.seed, "horizon": self.horizon}
+        for key in ("crashes", "shard_losses", "slow", "flaky"):
+            value = getattr(self, key)
+            if value:
+                payload[key] = value
+        if self.duration != 4:
+            payload["duration"] = self.duration
+        if self.delay != 3:
+            payload["delay"] = self.delay
+        if self.count != 1:
+            payload["count"] = self.count
         return payload
 
 
@@ -234,6 +326,8 @@ class ScenarioSpec:
     mutations: MutationSpec = field(default_factory=MutationSpec)
     workload: Optional[WorkloadSpec] = None
     service: ServiceSpec = field(default_factory=ServiceSpec)
+    #: Chaos storm injected during the service phase (needs a workload).
+    faults: Optional[FaultSpec] = None
     #: Extra keyword arguments for the LCA factory (e.g. ``stretch_parameter``
     #: for ``spannerk``).  Values must be JSON-serializable.
     algorithm_options: Dict[str, object] = field(default_factory=dict)
@@ -245,6 +339,12 @@ class ScenarioSpec:
             f"scenario name {self.name!r} may only contain [a-zA-Z0-9-_.] "
             "(it becomes a results filename)",
         )
+        if self.faults is not None and self.faults.total_events:
+            _require(
+                self.workload is not None,
+                "a [faults] table needs a [workload] (faults are injected "
+                "into the service phase)",
+            )
 
     # ------------------------------------------------------------------ #
     # Serialization
@@ -267,6 +367,8 @@ class ScenarioSpec:
         if self.workload is not None:
             payload["workload"] = self.workload.as_dict()
             payload["service"] = self.service.as_dict()
+        if self.faults is not None:
+            payload["faults"] = self.faults.as_dict()
         return payload
 
     @classmethod
@@ -284,6 +386,7 @@ class ScenarioSpec:
             "mutations",
             "workload",
             "service",
+            "faults",
             "algorithm_options",
         }
         unknown = sorted(set(data) - known)
@@ -306,6 +409,11 @@ class ScenarioSpec:
                     else None
                 ),
                 service=_sub(ServiceSpec, data.get("service"), "service"),
+                faults=(
+                    _sub(FaultSpec, data.get("faults"), "faults")
+                    if data.get("faults") is not None
+                    else None
+                ),
                 algorithm_options=dict(data.get("algorithm_options", {})),
             )
         except SpecError as exc:

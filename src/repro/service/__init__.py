@@ -29,11 +29,19 @@ Quickstart
 500
 """
 
-from .engine import RequestRecord, ServiceConfig, ServiceEngine, serve_workload
+from .engine import (
+    DEGRADED_MODES,
+    SHED_REASONS,
+    RequestRecord,
+    ServiceConfig,
+    ServiceEngine,
+    serve_workload,
+)
 from .metrics import LATENCY_PERCENTILES, LatencyStats, ServiceReport
 from .shards import (
     ROUTING_POLICIES,
     OracleShard,
+    ReplicaSet,
     ShardReport,
     ShardRouter,
     ShardedOraclePool,
@@ -72,7 +80,10 @@ __all__ = [
     "ShardReport",
     "ShardedOraclePool",
     "OracleShard",
+    "ReplicaSet",
     "ROUTING_POLICIES",
+    "DEGRADED_MODES",
+    "SHED_REASONS",
     "Workload",
     "UniformWorkload",
     "ZipfWorkload",

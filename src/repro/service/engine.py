@@ -72,6 +72,46 @@ three rules that keep the run deterministic and the shared graph safe:
    the shared graph; sibling shards discard stale memo entries on their
    next lookup (see :mod:`repro.core.cache`), so a write costs O(1) plus
    exactly the recomputation the affected queries actually need.
+
+The fault plane (replication, failover, retries, degradation)
+-------------------------------------------------------------
+
+With a :class:`~repro.faults.FaultPlan` configured, a
+:class:`~repro.faults.FaultInjector` is stepped once per scheduler cycle
+(``begin_cycle``), so every injected failure lands on a tick-clock boundary
+and fault runs stay bit-reproducible.  The engine reacts:
+
+* **Failover** — each shard is a :class:`~repro.service.shards.ReplicaSet`
+  of ``replication`` same-seed LCA instances, one pinned worker per
+  replica.  Reads route to a sticky *primary* (lowest live replica index);
+  when a crash takes the primary down, the lowest live replica is promoted
+  and inherits the crashed primary's warm memo state by merging the set's
+  latest checkpoint (taken every ``checkpoint_interval`` batches on the
+  primary's own worker).  Answers and per-request probe totals are
+  unchanged by failover — LCA purity plus cold-schedule accounting make
+  every replica serve bit-identically.
+* **Retries with backoff** — submissions hit by injected transient errors
+  (or organic :class:`~repro.exec.TransientTaskError`) and timed-out slow
+  batches are resubmitted to the *current* primary, up to
+  ``max_retries`` times, burning capped-exponential backoff ticks through
+  the injected clock between attempts.  Sub-timeout slow batches just burn
+  their delay ticks before the completion stamp.
+* **Graceful degradation** — a read whose shard has no live replica (and a
+  read whose retries are exhausted) is handled per ``degraded_mode``:
+  ``"answer"`` completes it with an explicit degraded answer (``in_spanner
+  False``, zero probes, flagged in the request record); ``"shed"``
+  re-classifies it as rejected under the distinct ``"degraded"`` shed
+  reason.  Writes are **never** degraded or dropped: a write whose shard is
+  fully down blocks the queue (a recovery barrier) until the injector's
+  scheduled recovery releases it — finite fault durations guarantee that
+  happens, and the engine fast-forwards idle cycles to the next fault
+  transition instead of spinning.
+
+Fault/recovery/retry/failover counts land in ``ServiceReport.faults``
+(:class:`~repro.faults.FaultStats`); availability (non-degraded answers per
+read offered) is derived on the report.  Without a fault plan, none of
+this machinery runs and the engine behaves byte-identically to the
+pre-fault implementation.
 """
 
 from __future__ import annotations
@@ -84,7 +124,8 @@ from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
 from ..core.ids import canonical_edge
 from ..core.lca import SpannerLCA
 from ..core.probes import ProbeStatistics
-from ..exec import PINNED_BACKENDS, PinnedWorkers
+from ..exec import PINNED_BACKENDS, PinnedWorkers, RetryPolicy, TransientTaskError
+from ..faults import FaultInjector, FaultPlan, FaultStats
 from ..graphs.graph import Graph
 from .metrics import LatencyStats, ServiceReport
 from .shards import ROUTING_POLICIES, ShardedOraclePool
@@ -92,6 +133,12 @@ from .trace import TraceOp
 from .workload import Workload
 
 Edge = Tuple[int, int]
+
+#: How reads on a fully-down shard are handled (see module docstring).
+DEGRADED_MODES = ("answer", "shed")
+
+#: Shed-reason codes reported under ``extras["shed_reasons"]``.
+SHED_REASONS = ("invalid", "overload", "degraded")
 
 
 @dataclass
@@ -116,14 +163,33 @@ class ServiceConfig:
     #: reference path), "thread" gives every shard a dedicated worker thread
     #: so shard groups of a batch execute concurrently.
     executor: str = "serial"
-    #: Worker-thread cap for the "thread" executor (default: one per shard).
-    #: Fewer workers than shards pin several shards to one thread — each
-    #: shard still executes single-threaded.
+    #: Worker-thread cap for the "thread" executor (default: one per shard
+    #: replica).  Fewer workers than replicas pin several replicas to one
+    #: thread — each replica still executes single-threaded.
     workers: Optional[int] = None
     #: Dispatched-but-uncompleted batch limit (pipelining depth).  1 keeps
     #: the classic dispatch→complete lockstep; higher values overlap batch
     #: N+1's dispatch with batch N's execution on threaded workers.
     max_inflight: int = 1
+    #: Replicas per shard (1 = no redundancy).  Each replica is an
+    #: independent same-seed LCA on its own pinned worker.
+    replication: int = 1
+    #: Deterministic fault schedule to inject (None = fault-free run; the
+    #: fault machinery is entirely bypassed).
+    fault_plan: Optional[FaultPlan] = None
+    #: Retry budget for transiently failed / timed-out submissions.
+    max_retries: int = 2
+    #: Capped-exponential backoff between retries, in clock ticks.
+    backoff_base: int = 1
+    backoff_cap: int = 8
+    #: Slow-batch budget: an injected delay of this many ticks or more is a
+    #: timeout (the submission is abandoned and retried).
+    timeout_ticks: int = 64
+    #: Reads on a fully-down shard: "answer" (explicit degraded answer) or
+    #: "shed" (rejected under the distinct "degraded" reason code).
+    degraded_mode: str = "answer"
+    #: Batches between primary checkpoints (replica warm-state sync).
+    checkpoint_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -149,10 +215,31 @@ class ServiceConfig:
             raise ValueError("workers must be >= 1")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.degraded_mode not in DEGRADED_MODES:
+            raise ValueError(
+                f"unknown degraded_mode {self.degraded_mode!r}; "
+                f"choices: {DEGRADED_MODES}"
+            )
+        if self.timeout_ticks < 1:
+            raise ValueError("timeout_ticks must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        # RetryPolicy validates max_retries / backoff_base / backoff_cap.
+        self.retry_policy
 
     @property
     def effective_burst(self) -> int:
         return self.batch_size if self.arrival_burst is None else self.arrival_burst
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+        )
 
 
 class RequestRecord(NamedTuple):
@@ -164,6 +251,9 @@ class RequestRecord(NamedTuple):
     in_spanner: bool
     probe_total: int
     latency_s: float
+    #: True when the request was answered degraded (shard fully down /
+    #: retries exhausted) rather than served by an oracle.
+    degraded: bool = False
 
 
 class _Pending(NamedTuple):
@@ -174,11 +264,33 @@ class _Pending(NamedTuple):
     op: str = "query"
 
 
+class _Part(NamedTuple):
+    """One shard-group submission of a dispatched batch.
+
+    ``kind`` is "ok" (a real future), or an injected outcome decided at
+    submission time: "flaky" (transient error), "timeout" (slow past the
+    timeout budget), "down" (no live replica).  ``group``/``single`` carry
+    what a retry needs to resubmit.
+    """
+
+    future: object
+    positions: List[int]
+    group: List[Edge]
+    shard_id: int
+    kind: str
+    delay: int
+    single: bool
+
+
 class _InflightBatch(NamedTuple):
-    """A dispatched batch: its requests plus one future per shard group."""
+    """A dispatched batch: its requests plus one part per shard group."""
 
     requests: List[_Pending]
-    parts: List[Tuple[object, List[int]]]  # (future, batch positions)
+    parts: List[_Part]
+
+
+#: Sentinel outcome for requests that could not be served (degraded path).
+_DEGRADED = object()
 
 
 class ServiceEngine:
@@ -190,9 +302,9 @@ class ServiceEngine:
         The input graph (shared by every shard, read-only).
     lca_factory:
         ``graph -> SpannerLCA`` factory with the seed baked in; one instance
-        is created per shard.
+        is created per shard replica.
     config:
-        Scheduler and pool knobs (:class:`ServiceConfig`).
+        Scheduler, pool and fault-plane knobs (:class:`ServiceConfig`).
     """
 
     def __init__(
@@ -208,6 +320,7 @@ class ServiceEngine:
             lca_factory,
             num_shards=self.config.num_shards,
             routing=self.config.routing,
+            replication=self.config.replication,
         )
         #: Per-request log of the most recent :meth:`run` (when
         #: ``config.record``); replayed by the equivalence tests.
@@ -221,7 +334,7 @@ class ServiceEngine:
         """
         config = self.config
         pool = self.pool
-        shards = pool.shards
+        replica_sets = pool.replica_sets
         router = pool.router
         has_edge = self.graph.has_edge
         burst = config.effective_burst
@@ -229,6 +342,23 @@ class ServiceEngine:
         depth_limit = config.max_queue_depth
         coalesce = config.coalesce
         max_inflight = config.max_inflight
+        num_shards = config.num_shards
+        replication = config.replication
+        timeout_ticks = config.timeout_ticks
+        retry_policy = config.retry_policy
+        degraded_shed = config.degraded_mode == "shed"
+
+        injector: Optional[FaultInjector] = None
+        if config.fault_plan is not None:
+            injector = FaultInjector(
+                config.fault_plan, num_shards, replication=replication
+            )
+        faults_on = injector is not None
+        fstats = injector.stats if injector is not None else FaultStats()
+        # Sticky primaries: reads route to the lowest live replica; the
+        # index only moves on failover, never back when an old primary
+        # rejoins (it re-syncs and serves as a standby).
+        primary = [0] * num_shards
 
         queue: Deque[_Pending] = deque()
         inflight: Deque[_InflightBatch] = deque()
@@ -237,8 +367,10 @@ class ServiceEngine:
         latency = LatencyStats()
         probe_stats = ProbeStatistics()
         offered = admitted = rejected = invalid = served = in_spanner = 0
+        shed_reasons = {reason: 0 for reason in SHED_REASONS}
         mutations_applied = 0
         batches = 0
+        checkpointed_at = 0
         max_depth_seen = 0
         seq = 0
         exhausted = False
@@ -261,35 +393,145 @@ class ServiceEngine:
                 return queued[-1] == "add"
             return has_edge(u, v)
 
+        def worker_key(shard_id: int, replica_idx: int) -> int:
+            return shard_id * replication + replica_idx
+
+        def serving_replica(shard_id: int) -> Optional[int]:
+            """Current live primary of a shard, or None when fully down."""
+            if not faults_on:
+                return 0
+            idx = primary[shard_id]
+            if injector.is_up(shard_id, idx):
+                return idx
+            live = injector.live_replicas(shard_id)
+            return live[0] if live else None
+
         started = clock()
         with PinnedWorkers(
-            pool.num_shards, config.executor, config.workers
+            num_shards * replication, config.executor, config.workers
         ) as workers:
 
+            def submit_part(
+                shard_id: int,
+                group: List[Edge],
+                positions: List[int],
+                single: bool,
+            ) -> _Part:
+                """Submit one shard group, applying injected faults."""
+                idx = serving_replica(shard_id)
+                if idx is None:
+                    return _Part(None, positions, group, shard_id, "down", 0, single)
+                delay = 0
+                if faults_on:
+                    if injector.take_flake(shard_id, idx):
+                        return _Part(
+                            None, positions, group, shard_id, "flaky", 0, single
+                        )
+                    delay = injector.take_delay(shard_id, idx)
+                    if delay >= timeout_ticks:
+                        return _Part(
+                            None, positions, group, shard_id, "timeout", delay, single
+                        )
+                shard = replica_sets[shard_id].replicas[idx]
+                if single:
+                    (u, v) = group[0]
+                    future = workers.submit(
+                        worker_key(shard_id, idx), shard.serve_one, u, v
+                    )
+                else:
+                    future = workers.submit(
+                        worker_key(shard_id, idx), shard.serve_batch, group, False
+                    )
+                return _Part(future, positions, group, shard_id, "ok", delay, single)
+
+            def resolve_part(part: _Part) -> Optional[List[Tuple[bool, int]]]:
+                """Resolve one part, retrying injected/transient failures.
+
+                Returns outcomes aligned with ``part.positions``, or None
+                when the shard is fully down or the retry budget is spent
+                (the degraded path).  Backoff, timeout and slow-batch costs
+                are charged as clock readings here, on the coordinator, so
+                fault runs stay deterministic under any executor.
+                """
+                attempt = 0
+                while True:
+                    if part.kind == "down":
+                        return None
+                    if part.kind == "ok":
+                        try:
+                            result = part.future.result()
+                        except TransientTaskError:
+                            pass  # organic transient failure: retry below
+                        else:
+                            for _ in range(part.delay):
+                                clock()
+                            if part.single:
+                                return [result]
+                            return list(zip(result.answers, result.probe_totals))
+                    elif part.kind == "timeout":
+                        # The engine waited out the full budget before
+                        # abandoning the submission.
+                        for _ in range(timeout_ticks):
+                            clock()
+                        fstats.timeouts += 1
+                    if attempt >= retry_policy.max_retries:
+                        return None
+                    for _ in range(retry_policy.backoff_ticks(attempt)):
+                        clock()
+                    fstats.retries += 1
+                    attempt += 1
+                    # Resubmit to the *current* primary — it may differ
+                    # from the original target after a failover.
+                    part = submit_part(
+                        part.shard_id, part.group, part.positions, part.single
+                    )
+
             def complete_oldest() -> None:
-                nonlocal served, in_spanner
+                nonlocal served, in_spanner, admitted, rejected
                 batch, parts = inflight.popleft()
-                outcomes: List[Tuple[bool, int]] = [None] * len(batch)  # type: ignore[list-item]
+                outcomes: List[object] = [None] * len(batch)
                 stamps: List[float] = [0.0] * len(batch)
                 if coalesce:
                     # A coalesced batch completes as a unit: one stamp
                     # once every shard group has resolved.
-                    for future, positions in parts:
-                        result = future.result()
-                        for position, answer, total in zip(
-                            positions, result.answers, result.probe_totals
-                        ):
-                            outcomes[position] = (answer, total)
+                    for part in parts:
+                        result = resolve_part(part)
+                        if result is None:
+                            for position in part.positions:
+                                outcomes[position] = _DEGRADED
+                        else:
+                            for position, outcome in zip(part.positions, result):
+                                outcomes[position] = outcome
                     done = clock()
                     stamps = [done] * len(batch)
                 else:
                     # The unbatched baseline stamps each request as its
                     # own future resolves (in batch order), preserving
                     # the classic per-request completion times.
-                    for future, positions in parts:
-                        outcomes[positions[0]] = future.result()
-                        stamps[positions[0]] = clock()
-                for req, (answer, probes), done in zip(batch, outcomes, stamps):
+                    for part in parts:
+                        result = resolve_part(part)
+                        outcomes[part.positions[0]] = (
+                            _DEGRADED if result is None else result[0]
+                        )
+                        stamps[part.positions[0]] = clock()
+                for req, outcome, done in zip(batch, outcomes, stamps):
+                    degraded = outcome is _DEGRADED
+                    if degraded:
+                        if degraded_shed:
+                            # Re-classify: the read was admitted but cannot
+                            # be served; it leaves the ledger as a shed with
+                            # its own reason code, keeping
+                            # offered == admitted + rejected + mutations and
+                            # served == admitted intact even in fault runs.
+                            admitted -= 1
+                            rejected += 1
+                            shed_reasons["degraded"] += 1
+                            fstats.degraded_sheds += 1
+                            continue
+                        fstats.degraded_answers += 1
+                        answer, probes = False, 0
+                    else:
+                        answer, probes = outcome
                     served += 1
                     if answer:
                         in_spanner += 1
@@ -300,22 +542,29 @@ class ServiceEngine:
                     if config.record:
                         records.append(
                             RequestRecord(
-                                req.seq, req.u, req.v, answer, probes, elapsed
+                                req.seq, req.u, req.v, answer, probes, elapsed,
+                                degraded,
                             )
                         )
 
-            def apply_write(write: _Pending) -> None:
+            def try_apply_write(write: _Pending) -> bool:
                 # Writes are scheduling barriers: every dispatched read batch
                 # resolves first (so no shard worker reads the graph while it
                 # changes), then the owning shard's worker applies the
-                # mutation synchronously.
+                # mutation synchronously.  A write whose shard is fully down
+                # blocks (returns False) — the recovery barrier; it is never
+                # dropped or degraded.
                 nonlocal mutations_applied
+                shard_id = router.shard_of_edge(write.u, write.v)
+                idx = serving_replica(shard_id)
+                if idx is None:
+                    return False
                 while inflight:
                     complete_oldest()
-                shard_id = router.shard_of_edge(write.u, write.v)
+                shard = replica_sets[shard_id].replicas[idx]
                 workers.submit(
-                    shard_id,
-                    shards[shard_id].apply_mutation,
+                    worker_key(shard_id, idx),
+                    shard.apply_mutation,
                     write.op,
                     write.u,
                     write.v,
@@ -327,8 +576,48 @@ class ServiceEngine:
                     if not queued:
                         del pending_writes[key]
                 mutations_applied += 1
+                return True
 
+            cycle = -1
             while not exhausted or queue or inflight:
+                cycle += 1
+                if faults_on:
+                    # ---- fault boundary: expire/activate events, rejoin
+                    # recovered replicas from the checkpoint, fail over
+                    # shards whose primary went down, refresh checkpoints.
+                    for shard_id, replica_idx in injector.begin_cycle(cycle):
+                        workers.submit(
+                            worker_key(shard_id, replica_idx),
+                            replica_sets[shard_id].sync,
+                            replica_idx,
+                        ).result()
+                    for shard_id in range(num_shards):
+                        if injector.is_up(shard_id, primary[shard_id]):
+                            continue
+                        live = injector.live_replicas(shard_id)
+                        if live:
+                            primary[shard_id] = live[0]
+                            fstats.failovers += 1
+                            workers.submit(
+                                worker_key(shard_id, live[0]),
+                                replica_sets[shard_id].sync,
+                                live[0],
+                            ).result()
+                    if (
+                        replication > 1
+                        and batches - checkpointed_at >= config.checkpoint_interval
+                    ):
+                        for shard_id in range(num_shards):
+                            idx = primary[shard_id]
+                            if injector.is_up(shard_id, idx):
+                                workers.submit(
+                                    worker_key(shard_id, idx),
+                                    replica_sets[shard_id].checkpoint,
+                                    idx,
+                                ).result()
+                                fstats.checkpoints += 1
+                        checkpointed_at = batches
+
                 # ---- ingest: up to `burst` arrivals through admission control
                 arrivals = 0
                 while arrivals < burst and not exhausted:
@@ -356,9 +645,21 @@ class ServiceEngine:
                     if not edge_admissible(u, v):
                         invalid += 1
                         rejected += 1
+                        shed_reasons["invalid"] += 1
                         continue
+                    if faults_on and degraded_shed:
+                        # Shed-mode degradation starts at the front door: a
+                        # read for a fully-down shard is turned away with
+                        # its own reason code instead of queueing.
+                        shard_id = router.shard_of_edge(u, v)
+                        if serving_replica(shard_id) is None:
+                            rejected += 1
+                            shed_reasons["degraded"] += 1
+                            fstats.degraded_sheds += 1
+                            continue
                     if len(queue) >= depth_limit:
                         rejected += 1
+                        shed_reasons["overload"] += 1
                         continue
                     seq += 1
                     queue.append(_Pending(seq, u, v, clock()))
@@ -368,10 +669,15 @@ class ServiceEngine:
 
                 # ---- dispatch: FIFO batches up to the in-flight bound, with
                 # writes serialized ahead of the reads that follow them
+                write_blocked = False
                 while queue:
                     if queue[0].op != "query":
-                        apply_write(queue.popleft())
-                        continue
+                        if try_apply_write(queue[0]):
+                            queue.popleft()
+                            continue
+                        write_blocked = True
+                        fstats.blocked_write_cycles += 1
+                        break
                     if len(inflight) >= max_inflight:
                         break
                     batch: List[_Pending] = []
@@ -384,34 +690,21 @@ class ServiceEngine:
                     batches += 1
                     if coalesce:
                         parts = [
-                            (
-                                workers.submit(
-                                    shard_id,
-                                    shards[shard_id].serve_batch,
-                                    group,
-                                    False,
-                                ),
-                                positions,
-                            )
+                            submit_part(shard_id, group, positions, single=False)
                             for shard_id, group, positions in pool.partition(
                                 [(req.u, req.v) for req in batch]
                             )
                         ]
                     else:
-                        parts = []
-                        for position, req in enumerate(batch):
-                            shard_id = router.shard_of_edge(req.u, req.v)
-                            parts.append(
-                                (
-                                    workers.submit(
-                                        shard_id,
-                                        shards[shard_id].serve_one,
-                                        req.u,
-                                        req.v,
-                                    ),
-                                    [position],
-                                )
+                        parts = [
+                            submit_part(
+                                router.shard_of_edge(req.u, req.v),
+                                [(req.u, req.v)],
+                                [position],
+                                single=True,
                             )
+                            for position, req in enumerate(batch)
+                        ]
                     inflight.append(_InflightBatch(batch, parts))
 
                 # ---- complete: resolve the oldest batch, in dispatch order
@@ -419,12 +712,22 @@ class ServiceEngine:
                     len(inflight) >= max_inflight or (exhausted and not queue)
                 ):
                     complete_oldest()
+
+                # ---- recovery fast-forward: a blocked write with nothing
+                # else to do — jump to the injector's next fault transition
+                # instead of spinning one cycle at a time.  Finite fault
+                # durations guarantee a transition exists, so the barrier
+                # always releases and the loop always terminates.
+                if write_blocked and exhausted and not inflight:
+                    target = injector.next_transition_after(cycle)
+                    if target is not None and target > cycle + 1:
+                        cycle = target - 1
         duration = clock() - started
 
         report = ServiceReport(
             algorithm=pool.algorithm,
             workload=workload.kind,
-            num_shards=config.num_shards,
+            num_shards=num_shards,
             routing=config.routing,
             batch_size=batch_size,
             coalesced=coalesce,
@@ -442,11 +745,16 @@ class ServiceEngine:
             executor=config.executor,
             max_inflight=max_inflight,
             mutations=mutations_applied,
+            replication=replication,
         )
         if invalid:
             report.extras["invalid_requests"] = invalid
         if mutations_applied:
             report.extras["graph_epoch"] = self.graph.epoch
+        if rejected:
+            report.extras["shed_reasons"] = dict(shed_reasons)
+        if faults_on:
+            report.faults = fstats.as_dict()
         return report
 
 

@@ -110,6 +110,10 @@ class ServiceReport:
     executor: str = "serial"        # shard-worker backend of the run
     max_inflight: int = 1           # batch pipelining depth of the run
     mutations: int = 0              # graph writes applied during the run
+    replication: int = 1            # replicas per shard
+    #: Fault-plane counters (:meth:`repro.faults.FaultStats.as_dict`) —
+    #: populated only for runs with a fault plan configured.
+    faults: Dict[str, int] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -123,6 +127,20 @@ class ServiceReport:
     @property
     def rejection_rate(self) -> float:
         return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered reads answered by a live oracle.
+
+        Sheds (any reason) and explicit degraded answers both count
+        against availability; writes are excluded from the denominator
+        (they are never shed — a blocked write waits for recovery).
+        """
+        reads = self.offered - self.mutations
+        if reads <= 0:
+            return 1.0
+        degraded = self.faults.get("degraded_answers", 0)
+        return (self.served - degraded) / reads
 
     def shard_imbalance(self) -> float:
         """Max/mean request load across shards (1.0 = perfectly balanced)."""
@@ -182,5 +200,14 @@ class ServiceReport:
             "probes": self.probe_stats.as_dict(),
             "shard_imbalance": round(self.shard_imbalance(), 3),
             "shards": [report.as_dict() for report in self.shard_reports],
+            **({"replication": self.replication} if self.replication > 1 else {}),
+            **(
+                {
+                    "faults": dict(self.faults),
+                    "availability": round(self.availability, 4),
+                }
+                if self.faults
+                else {}
+            ),
             **({"extras": dict(self.extras)} if self.extras else {}),
         }

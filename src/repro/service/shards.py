@@ -229,6 +229,115 @@ class OracleShard:
         )
 
 
+class ReplicaSet:
+    """The replicas of one shard: interchangeable same-seed LCA instances.
+
+    The LCA purity contract is what makes replication cheap to get right:
+    every replica is an independent instance built by the same factory
+    (same seed, same parameters), so all replicas agree on every answer
+    *by construction* — failover changes which memo cache serves a read,
+    never the read's answer or its cold-schedule probe total.
+
+    What replicas do **not** automatically share is warm memo state.  The
+    set therefore keeps one *checkpoint*: a portable
+    :class:`~repro.core.cache.CacheSnapshot` exported by the serving
+    primary (:meth:`checkpoint`).  A replica promoted after a crash — or
+    rejoining after recovery — merges the latest checkpoint it has not
+    seen (:meth:`sync`), inheriting the primary's memo entries.  Merged
+    entries are epoch-stamped (see :mod:`repro.core.cache`), so a
+    checkpoint taken before a graph mutation is still safe to merge after
+    it: stale entries discard themselves on their next lookup.
+
+    Checkpoints are **full** snapshots, not incremental ones — cursor
+    deltas assume append-only memo tables, which churn workloads violate
+    (lazy invalidation shrinks them).
+    """
+
+    __slots__ = ("shard_id", "replicas", "_checkpoint", "_version", "_synced")
+
+    def __init__(self, shard_id: int, replicas: Sequence[OracleShard]) -> None:
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        self.shard_id = shard_id
+        self.replicas = list(replicas)
+        self._checkpoint: Optional[Tuple[int, object]] = None  # (source, snap)
+        self._version = 0
+        self._synced = [0] * len(self.replicas)
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def primary(self) -> OracleShard:
+        """The at-rest primary (replica 0); live routing is the engine's."""
+        return self.replicas[0]
+
+    def checkpoint(self, replica_idx: int) -> int:
+        """Export ``replica_idx``'s memo state as the set's checkpoint.
+
+        Returns the checkpoint version.  Runs on the replica's pinned
+        worker (the engine submits it there), so the export never races
+        that replica's in-flight batches.
+        """
+        oracle = self.replicas[replica_idx].lca.ensure_cached_oracle()
+        self._version += 1
+        self._checkpoint = (replica_idx, oracle.snapshot_state())
+        self._synced[replica_idx] = self._version
+        return self._version
+
+    def sync(self, replica_idx: int) -> bool:
+        """Merge the latest unseen checkpoint into ``replica_idx``.
+
+        Called on promotion (the new primary inherits the crashed
+        primary's warm state) and on rejoin after recovery.  A no-op when
+        the replica exported the checkpoint itself or has already merged
+        it; returns whether a merge happened.
+        """
+        if self._checkpoint is None:
+            return False
+        source, snapshot = self._checkpoint
+        if source == replica_idx or self._synced[replica_idx] >= self._version:
+            return False
+        replica = self.replicas[replica_idx]
+        replica.lca.ensure_cached_oracle().merge_state(snapshot)
+        self._synced[replica_idx] = self._version
+        return True
+
+    def telemetry(self) -> Tuple[int, ProbeSnapshot, int, int, int]:
+        """Aggregate lifetime counters across the set's replicas."""
+        requests = hits = misses = mutations = 0
+        probes = ProbeSnapshot()
+        for replica in self.replicas:
+            r, p, h, m, mu = replica.telemetry()
+            requests += r
+            probes = probes + p
+            hits += h
+            misses += m
+            mutations += mu
+        return (requests, probes, hits, misses, mutations)
+
+    def report(
+        self, since: Optional[Tuple[int, ProbeSnapshot, int, int, int]] = None
+    ) -> ShardReport:
+        """One aggregated :class:`ShardReport` for the whole replica set."""
+        requests, probes, hits, misses, mutations = self.telemetry()
+        if since is not None:
+            base_requests, base_probes, base_hits, base_misses, base_mut = since
+            requests -= base_requests
+            probes = probes - base_probes
+            hits -= base_hits
+            misses -= base_misses
+            mutations -= base_mut
+        return ShardReport(
+            shard_id=self.shard_id,
+            requests=requests,
+            probes=probes,
+            cache_hits=hits,
+            cache_misses=misses,
+            mutations=mutations,
+        )
+
+
 class ShardedOraclePool:
     """``N`` independent LCA shards behind a vertex router.
 
@@ -244,6 +353,15 @@ class ShardedOraclePool:
         Number of independent shards.
     routing:
         ``"hash"`` or ``"range"`` (see module docstring).
+    replication:
+        Replicas per shard (default 1 — no redundancy).  Each replica is an
+        independent same-seed LCA instance inside a :class:`ReplicaSet`;
+        the request engine routes reads to the current live primary and
+        fails over when faults take it down.
+
+    ``pool.shards`` exposes the at-rest primaries (replica 0), which keeps
+    every pre-replication caller — and the fault-free fast path — working
+    unchanged; replica-aware code goes through ``pool.replica_sets``.
     """
 
     def __init__(
@@ -252,20 +370,36 @@ class ShardedOraclePool:
         lca_factory: Callable[[Graph], SpannerLCA],
         num_shards: int = 1,
         routing: str = "hash",
+        replication: int = 1,
     ) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
         self.graph = graph
         self.router = ShardRouter(num_shards, graph.vertices(), routing)
-        self.shards = [
-            OracleShard(i, lca_factory(graph)) for i in range(num_shards)
+        self.replication = int(replication)
+        self.replica_sets = [
+            ReplicaSet(
+                i, [OracleShard(i, lca_factory(graph)) for _ in range(replication)]
+            )
+            for i in range(num_shards)
         ]
+        self.shards = [replica_set.primary for replica_set in self.replica_sets]
         name = self.shards[0].lca.name
-        if any(shard.lca.name != name for shard in self.shards):
+        if any(
+            replica.lca.name != name
+            for replica_set in self.replica_sets
+            for replica in replica_set.replicas
+        ):
             raise ValueError("lca_factory produced differently named LCAs")
         self.algorithm = name
 
     @property
     def num_shards(self) -> int:
-        return len(self.shards)
+        return len(self.replica_sets)
+
+    def replica(self, shard_id: int, replica_idx: int) -> OracleShard:
+        """The ``replica_idx``-th replica of shard ``shard_id``."""
+        return self.replica_sets[shard_id].replicas[replica_idx]
 
     def shard_for(self, u: int, v: int) -> OracleShard:
         return self.shards[self.router.shard_of_edge(u, v)]
@@ -325,15 +459,17 @@ class ShardedOraclePool:
                 out[position] = (answer, total)
         return out
 
-    def telemetry(self) -> List[Tuple[int, ProbeSnapshot, int, int]]:
-        """Per-shard lifetime counters (a baseline for :meth:`reports`)."""
-        return [shard.telemetry() for shard in self.shards]
+    def telemetry(self) -> List[Tuple[int, ProbeSnapshot, int, int, int]]:
+        """Per-shard lifetime counters, aggregated across each shard's
+        replicas (a baseline for :meth:`reports`)."""
+        return [replica_set.telemetry() for replica_set in self.replica_sets]
 
     def reports(
-        self, since: Optional[List[Tuple[int, ProbeSnapshot, int, int]]] = None
+        self, since: Optional[List[Tuple[int, ProbeSnapshot, int, int, int]]] = None
     ) -> List[ShardReport]:
         if since is None:
-            return [shard.report() for shard in self.shards]
+            return [replica_set.report() for replica_set in self.replica_sets]
         return [
-            shard.report(baseline) for shard, baseline in zip(self.shards, since)
+            replica_set.report(baseline)
+            for replica_set, baseline in zip(self.replica_sets, since)
         ]

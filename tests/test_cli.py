@@ -441,3 +441,105 @@ def test_report_commands_fail_cleanly(tmp_path):
         main(["report", "run", str(tmp_path / "missing.toml")])
     with pytest.raises(SystemExit, match="no results"):
         main(["report", "render", "--results", str(tmp_path / "empty")])
+
+
+# --------------------------------------------------------------------------- #
+# Fault plane (serve-bench flags, chaos specs, clean error paths)
+# --------------------------------------------------------------------------- #
+def test_serve_bench_with_fault_flags(graph_file, capsys, tmp_path):
+    report_path = tmp_path / "faults.json"
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--requests", "300",
+         "--shards", "2", "--batch-size", "8", "--replication", "2",
+         "--crashes", "2", "--flaky", "1", "--fault-seed", "9",
+         "--fault-horizon", "8", "--json", str(report_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fault plane" in out and "availability" in out
+    import json
+
+    payload = json.loads(report_path.read_text())
+    assert payload["faults"]["crashes"] > 0
+    assert payload["replication"] == 2
+    assert 0.0 <= payload["availability"] <= 1.0
+
+
+def test_serve_bench_replays_a_fault_plan_file(graph_file, capsys, tmp_path):
+    from repro.faults import FaultEvent, FaultPlan
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan(
+        events=(FaultEvent(at=1, kind="crash", shard=0, duration=2),)
+    ).to_file(plan_path)
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--requests", "200",
+         "--shards", "2", "--replication", "2", "--fault-plan", str(plan_path)]
+    )
+    assert code == 0
+    assert "Fault plane" in capsys.readouterr().out
+
+
+def test_serve_bench_rejects_a_malformed_trace_cleanly(graph_file, tmp_path):
+    trace_path = tmp_path / "truncated.jsonl"
+    trace_path.write_text('{"op": "query", "u": 1', encoding="utf-8")
+    with pytest.raises(SystemExit, match="malformed trace record"):
+        main(["serve-bench", "--graph", graph_file, "--workload", "trace",
+              "--trace", str(trace_path)])
+
+
+def test_serve_bench_rejects_a_malformed_fault_plan_cleanly(graph_file, tmp_path):
+    plan_path = tmp_path / "bad.json"
+    plan_path.write_text('{"events": [', encoding="utf-8")
+    with pytest.raises(SystemExit, match="fault plan"):
+        main(["serve-bench", "--graph", graph_file,
+              "--fault-plan", str(plan_path)])
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["serve-bench", "--graph", graph_file,
+              "--fault-plan", str(tmp_path / "missing.json")])
+
+
+def test_serve_bench_rejects_a_plan_beyond_the_pool(graph_file, tmp_path):
+    from repro.faults import FaultEvent, FaultPlan
+
+    plan_path = tmp_path / "wide.json"
+    FaultPlan(
+        events=(FaultEvent(at=0, kind="crash", shard=5, duration=2),)
+    ).to_file(plan_path)
+    with pytest.raises(SystemExit, match="targets shard 5"):
+        main(["serve-bench", "--graph", graph_file, "--shards", "2",
+              "--fault-plan", str(plan_path)])
+
+
+def test_report_run_rejects_unknown_faults_keys(tmp_path):
+    spec_path = tmp_path / "chaos.toml"
+    spec_path.write_text(
+        "\n".join(
+            [
+                "[[scenario]]",
+                'name = "bad-chaos"',
+                'algorithm = "spanner3"',
+                "[scenario.graph]",
+                'family = "gnp"',
+                "sizes = [40]",
+                "[scenario.workload]",
+                'kind = "uniform"',
+                "requests = 30",
+                "[scenario.faults]",
+                "crashes = 1",
+                "blast_radius = 3",
+                "",
+            ]
+        ),
+        encoding="utf-8",
+    )
+    with pytest.raises(SystemExit, match="unknown faults key"):
+        main(["report", "run", str(spec_path), "--results",
+              str(tmp_path / "results")])
+
+
+def test_degraded_mode_flag_validates_choices(graph_file, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve-bench", "--graph", graph_file,
+              "--degraded-mode", "panic"])
+    assert excinfo.value.code == 2  # argparse usage error

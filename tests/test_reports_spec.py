@@ -192,3 +192,67 @@ def test_subset_parser_handles_commas_inside_quoted_strings(tmp_path):
     path = tmp_path / "quoted.toml"
     path.write_text('tags = ["a, b", "c"]\ncounts = [1, 2, 3]\n')
     assert _parse_toml_subset(path) == {"tags": ["a, b", "c"], "counts": [1, 2, 3]}
+
+
+# --------------------------------------------------------------------------- #
+# [scenario.faults] (the chaos axis)
+# --------------------------------------------------------------------------- #
+def test_fault_spec_round_trips_and_builds_a_plan():
+    data = {
+        **MINIMAL,
+        "workload": {"kind": "uniform", "requests": 30},
+        "service": {"shards": 2, "replication": 2, "degraded_mode": "shed"},
+        "faults": {"seed": 9, "horizon": 16, "crashes": 2, "flaky": 1},
+    }
+    spec = ScenarioSpec.from_dict(data)
+    assert ScenarioSpec.from_dict(spec.as_dict()) == spec
+    assert spec.faults.total_events == 3
+    plan = spec.faults.to_plan(spec.service.shards, spec.service.replication)
+    assert len(plan) == 3
+    assert plan == spec.faults.to_plan(2, 2)  # seeded: identical every time
+
+
+def test_fault_spec_validation():
+    with pytest.raises(SpecError, match="unknown faults key"):
+        ScenarioSpec.from_dict(
+            {
+                **MINIMAL,
+                "workload": {"kind": "uniform", "requests": 30},
+                "faults": {"crashes": 1, "blast": 2},
+            }
+        )
+    with pytest.raises(SpecError, match="workload"):
+        # Faults without a service phase have nothing to chaos-test.
+        ScenarioSpec.from_dict({**MINIMAL, "faults": {"crashes": 1}})
+    with pytest.raises(SpecError):
+        ScenarioSpec.from_dict(
+            {
+                **MINIMAL,
+                "workload": {"kind": "uniform", "requests": 30},
+                "faults": {"crashes": -1},
+            }
+        )
+
+
+def test_service_spec_fault_knobs_validate():
+    base = {**MINIMAL, "workload": {"kind": "uniform", "requests": 30}}
+    with pytest.raises(SpecError):
+        ScenarioSpec.from_dict({**base, "service": {"replication": 0}})
+    with pytest.raises(SpecError):
+        ScenarioSpec.from_dict({**base, "service": {"degraded_mode": "panic"}})
+    with pytest.raises(SpecError):
+        ScenarioSpec.from_dict({**base, "service": {"timeout_ticks": 0}})
+
+
+def test_chaos_scenario_file_parses_and_shrinks_for_smoke():
+    from repro.reports import spec_for_smoke
+
+    specs = load_scenario_file(SCENARIOS_DIR / "chaos_crash_churn.toml")
+    (spec,) = specs
+    assert spec.faults is not None and spec.faults.total_events > 0
+    assert spec.service.replication >= 2
+    smoke = spec_for_smoke(spec)
+    # Smoke runs only last a few cycles; the storm is compressed to fit so
+    # the CI chaos job actually injects something.
+    assert smoke.faults.total_events == spec.faults.total_events
+    assert smoke.faults.horizon <= 4

@@ -94,8 +94,35 @@ def test_lifecycle_unlink_then_attach_fails(csr_graph):
     finally:
         attached.detach()
     attached.detach()  # idempotent
-    with pytest.raises(FileNotFoundError):
+    with pytest.raises(RuntimeError, match=handle.shm_name):
         handle.attach()
+
+
+def test_attach_to_missing_segment_names_the_segment():
+    handle = SharedCSRHandle(
+        shm_name="repro_never_created", num_vertices=2, num_entries=2
+    )
+    with pytest.raises(RuntimeError, match="repro_never_created"):
+        handle.attach()
+
+
+def test_detach_after_failed_attach_is_a_noop(csr_graph):
+    # A size-mismatched segment makes __init__ raise before _shm is bound;
+    # __exit__/detach on the half-built view must not raise.
+    export = csr_graph.to_shared()
+    try:
+        lying = SharedCSRHandle(
+            shm_name=export.name,
+            num_vertices=export.handle.num_vertices + 1024,
+            num_entries=export.handle.num_entries + 1024,
+        )
+        view = SharedCSRGraph.__new__(SharedCSRGraph)
+        with pytest.raises(GraphError, match="too small"):
+            view.__init__(lying)
+        view.detach()
+        view.detach()
+    finally:
+        export.close()
 
 
 def test_dict_backend_graphs_export_through_csr_conversion():
