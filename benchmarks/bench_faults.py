@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from pathlib import Path
 
 from repro import format_table
@@ -37,6 +36,7 @@ from repro.faults import FaultPlan
 from repro.reports import TickClock
 from repro.service import ServiceConfig, ServiceEngine, make_workload
 
+from bench_common import payload_header
 from conftest import print_section
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
@@ -147,9 +147,7 @@ def test_availability_under_crash_storm(dense_benchmark_graph):
     )
 
     payload = {
-        "benchmark": "bench_faults",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **payload_header("bench_faults"),
         "min_availability_required": MIN_AVAILABILITY,
         "storm": STORM,
         "availability": {

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import random
 import time
 from pathlib import Path
@@ -35,6 +34,7 @@ from pathlib import Path
 from repro import format_table, graphs
 from repro.core.registry import create
 
+from bench_common import payload_header
 from conftest import print_section
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_mutation.json"
@@ -50,13 +50,6 @@ LCA_SEED = 5
 ROUNDS = 16
 BURST_ROUNDS = 8
 BURST_WRITES = 8
-
-
-def _cpu_count() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _make_graph():
@@ -171,10 +164,7 @@ def test_epoch_invalidation_beats_full_rebuild_under_churn():
     )
 
     payload = {
-        "benchmark": "bench_mutation",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpu_count": _cpu_count(),
+        **payload_header("bench_mutation"),
         "graph": {
             "n": graph.num_vertices,
             "m": graph.num_edges,
@@ -182,7 +172,6 @@ def test_epoch_invalidation_beats_full_rebuild_under_churn():
         },
         "algorithm": "spanner3",
         "min_epoch_speedup_required": MIN_EPOCH_SPEEDUP,
-        "floor_enforced": True,
         "steady_churn": steady,
         "write_burst": burst,
         "equivalent_across_policies": True,

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import time
 from pathlib import Path
 
 from repro import format_table
 from repro.core.registry import create
 
+from bench_common import cpu_count, payload_header
 from conftest import print_section
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
@@ -37,13 +37,6 @@ MIN_PROCESS_SPEEDUP = float(os.environ.get("BENCH_MIN_PROCESS_SPEEDUP", "2.0"))
 
 #: Timing repetitions (best-of, to shrug off scheduler noise).
 REPEATS = 2
-
-
-def _cpu_count() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _time_best(fn):
@@ -60,7 +53,7 @@ def _time_best(fn):
 
 def test_executor_backends_speed_and_equivalence(parallel_benchmark_graph):
     graph = parallel_benchmark_graph.to_backend("csr")
-    cpus = _cpu_count()
+    cpus = cpu_count()
     workers = max(2, cpus)
 
     def make():
@@ -109,10 +102,7 @@ def test_executor_backends_speed_and_equivalence(parallel_benchmark_graph):
     )
 
     payload = {
-        "benchmark": "bench_parallel",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpu_count": cpus,
+        **payload_header("bench_parallel", floor_enforced=floor_enforced),
         "workers": workers,
         "graph": {
             "n": graph.num_vertices,
@@ -120,7 +110,6 @@ def test_executor_backends_speed_and_equivalence(parallel_benchmark_graph):
             "family": "gnp(900, 0.08, seed=101)",
         },
         "min_process_speedup_required": MIN_PROCESS_SPEEDUP,
-        "floor_enforced": floor_enforced,
         "timings_s": {label: round(seconds, 4) for label, seconds in timings.items()},
         "process_speedup_vs_serial": round(process_speedup, 2),
         "thread_speedup_vs_serial": round(thread_speedup, 2),

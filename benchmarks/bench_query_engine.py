@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import time
 from pathlib import Path
 
 from repro import create_lca, format_table
 from repro.spannerk import KSquaredSpannerLCA
 
+from bench_common import payload_header
 from conftest import print_section, tuned_k2_params
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
@@ -128,9 +128,7 @@ def test_query_engine_speedups(
     )
 
     payload = {
-        "benchmark": "bench_query_engine",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **payload_header("bench_query_engine"),
         "min_batched_speedup_required": MIN_BATCHED_SPEEDUP,
         "workloads": records,
     }

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from pathlib import Path
 
 from repro import format_table
 from repro.core.registry import create
 from repro.service import ServiceConfig, ServiceEngine, make_workload
 
+from bench_common import payload_header
 from conftest import print_section
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
@@ -118,9 +118,7 @@ def test_service_workloads_and_coalescing(dense_benchmark_graph):
     )
 
     payload = {
-        "benchmark": "bench_service",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **payload_header("bench_service"),
         "min_coalesce_speedup_required": MIN_COALESCE_SPEEDUP,
         "coalesce_speedup_zipf": round(speedup, 2),
         "workloads": records,

@@ -41,6 +41,13 @@ ENTRY_POINTS = [
     "repro.faults.plan:FaultPlan.generate",
     "repro.faults.injector:FaultInjector",
     "repro.exec.backends:call_with_retries",
+    "repro.obs.tracer:SpanTracer",
+    "repro.obs.metrics:MetricsRegistry",
+    "repro.obs.metrics:collect_run_metrics",
+    "repro.obs.profiler:ProbeProfiler",
+    "repro.obs.export:write_trace_jsonl",
+    "repro.obs.export:chrome_trace",
+    "repro.core.lca:SpannerLCA.attach_profiler",
     "repro.reports.spec:ScenarioSpec",
     "repro.reports.runner:run_scenario",
     "repro.reports.render:render_report",

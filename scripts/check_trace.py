@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Chrome ``trace_event`` schema gate (CI: the obs-smoke job).
+
+Validates that a JSON file exported by ``repro.obs.export.write_chrome_trace``
+(or the ``repro trace --chrome`` / ``serve-bench --trace-chrome`` CLI paths)
+is a loadable Chrome trace document:
+
+* top level is an object with a ``traceEvents`` list;
+* every event carries ``pid``, ``tid``, ``name``, ``cat``, ``ts`` and ``ph``;
+* complete (``"X"``) events also carry ``dur``; nothing else is accepted
+  besides instant (``"i"``) events, which is all the exporter emits.
+
+This is deliberately the *minimal* contract Perfetto / ``chrome://tracing``
+need to render the file — a schema drift in the exporter fails CI before a
+human discovers the trace no longer loads.
+
+Run from the repository root::
+
+    python scripts/check_trace.py TRACE.json [TRACE2.json ...]
+
+Exits nonzero with a one-line error per invalid file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Keys every trace event must carry.
+REQUIRED_EVENT_KEYS = ("pid", "tid", "name", "cat", "ts", "ph")
+
+#: Event phases the exporter emits: complete spans and instant markers.
+ALLOWED_PHASES = ("X", "i")
+
+
+def validate_trace(path: Path) -> str:
+    """Return an error message for an invalid Chrome trace file, else ''."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        return f"{path}: cannot read ({exc.strerror or exc})"
+    except json.JSONDecodeError as exc:
+        return f"{path}: not valid JSON ({exc.msg} at line {exc.lineno})"
+    if not isinstance(document, dict):
+        return f"{path}: top level must be an object, got {type(document).__name__}"
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return f"{path}: missing traceEvents list"
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"{path}: traceEvents[{index}] is not an object"
+        missing = [key for key in REQUIRED_EVENT_KEYS if key not in event]
+        if missing:
+            return f"{path}: traceEvents[{index}] missing {', '.join(missing)}"
+        phase = event["ph"]
+        if phase not in ALLOWED_PHASES:
+            return f"{path}: traceEvents[{index}] has unknown phase {phase!r}"
+        if phase == "X" and "dur" not in event:
+            return f"{path}: traceEvents[{index}] is a complete event without dur"
+    return ""
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_trace.py TRACE.json [TRACE2.json ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    total_events = 0
+    for name in argv:
+        error = validate_trace(Path(name))
+        if error:
+            print(f"check_trace: {error}")
+            failures += 1
+        else:
+            events = len(json.loads(Path(name).read_text(encoding="utf-8"))["traceEvents"])
+            total_events += events
+            print(f"check_trace: {name}: OK ({events} events)")
+    if failures:
+        return 1
+    print(f"check_trace: OK ({len(argv)} file(s), {total_events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

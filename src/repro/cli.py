@@ -13,6 +13,8 @@ without writing Python:
 * ``repro-lca mutate``     — apply edge mutations to a graph file,
 * ``repro-lca report``     — run declarative scenario specs and render the
   Markdown report (``report run`` / ``report render``, see ``docs/reports.md``),
+* ``repro-lca trace``      — summarize a JSONL span trace and/or convert it
+  to Chrome ``trace_event`` JSON (see ``docs/observability.md``),
 * ``repro-lca list``       — list the registered constructions.
 
 Graphs are read from edge-list files (see :mod:`repro.graphs.io`) or
@@ -36,6 +38,10 @@ Usage examples::
     python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
         --workload churn --requests 2000 --shards 4 --replication 2 \
         --crashes 4 --flaky 2 --fault-seed 9
+    python -m repro.cli serve-bench --generate gnp --n 300 --density 0.08 \
+        --workload zipf --requests 2000 --shards 4 \
+        --trace-out spans.jsonl --trace-chrome trace.json --metrics-out m.json
+    python -m repro.cli trace spans.jsonl --chrome trace.json
     python -m repro.cli report run scenarios/smoke.toml --smoke
     python -m repro.cli report render --out report.md
 
@@ -301,8 +307,17 @@ def cmd_serve_bench(args) -> int:
     engine = ServiceEngine(
         graph, lambda g: create(args.algorithm, g, seed=args.seed), config
     )
+    tracer = profiler = None
+    if args.trace_out or args.trace_chrome:
+        from .obs import SpanTracer
+
+        tracer = SpanTracer()
+    if args.metrics_out:
+        from .obs import ProbeProfiler
+
+        profiler = ProbeProfiler()
     try:
-        report = engine.run(workload)
+        report = engine.run(workload, tracer=tracer, profiler=profiler)
     except FaultPlanError as exc:
         raise SystemExit(f"serve-bench: {exc}")
     print(format_table([report.as_row()], title="Service run"))
@@ -327,6 +342,61 @@ def cmd_serve_bench(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"wrote report to {args.json}")
+    try:
+        if args.trace_out:
+            from .obs import write_trace_jsonl
+
+            count = write_trace_jsonl(args.trace_out, tracer)
+            print(f"wrote {count} spans to {args.trace_out}")
+        if args.trace_chrome:
+            from .obs import write_chrome_trace
+
+            count = write_chrome_trace(args.trace_chrome, tracer)
+            print(f"wrote Chrome trace ({count} events) to {args.trace_chrome}")
+        if args.metrics_out:
+            import json
+
+            from .obs import collect_run_metrics
+
+            snapshot = collect_run_metrics(report, profiler).snapshot()
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(
+                f"wrote {len(snapshot['metrics'])} metrics to {args.metrics_out}"
+            )
+    except OSError as exc:
+        raise SystemExit(f"serve-bench: {exc}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import read_trace_jsonl, summarize_spans, write_chrome_trace
+
+    try:
+        records = read_trace_jsonl(args.file)
+    except ValueError as exc:
+        raise SystemExit(f"trace: {exc}")
+    rows = [
+        {
+            "cat": row["cat"],
+            "span": row["name"],
+            "count": row["count"],
+            "ticks": row["ticks"],
+            "max ticks": row["max_ticks"],
+        }
+        for row in summarize_spans(records)
+    ]
+    if rows:
+        print(format_table(rows, title=f"Trace summary ({len(records)} spans)"))
+    else:
+        print("trace summary: 0 spans")
+    if args.chrome:
+        try:
+            count = write_chrome_trace(args.chrome, records)
+        except OSError as exc:
+            raise SystemExit(f"trace: {exc}")
+        print(f"wrote Chrome trace ({count} events) to {args.chrome}")
     return 0
 
 
@@ -382,10 +452,26 @@ def cmd_report_run(args) -> int:
     except SpecError as exc:
         raise SystemExit(f"report run: {exc}")
     store = ResultStore(args.results)
+    trace_dir = None
+    if args.trace_dir:
+        from pathlib import Path
+
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     for spec in specs:
         started = _time.perf_counter()
+        tracer = None
+        if (
+            trace_dir is not None
+            and spec.observability is not None
+            and spec.observability.trace
+            and spec.workload is not None
+        ):
+            from .obs import SpanTracer
+
+            tracer = SpanTracer(capacity=spec.observability.capacity)
         try:
-            result = run_scenario(spec, smoke=args.smoke)
+            result = run_scenario(spec, smoke=args.smoke, tracer=tracer)
         except OSError as exc:
             raise SystemExit(f"report run: {spec.name}: {exc}")
         except (FaultPlanError, ValueError) as exc:
@@ -394,6 +480,20 @@ def cmd_report_run(args) -> int:
         sizes = ", ".join(str(row.n) for row in result.sizes)
         phases = [f"n = {sizes}"] + (["service"] if result.service is not None else [])
         print(f"ran {spec.name} ({'; '.join(phases)}) -> {path}")
+        if tracer is not None:
+            from .obs import write_chrome_trace, write_trace_jsonl
+
+            try:
+                count = write_trace_jsonl(
+                    trace_dir / f"{spec.name}.trace.jsonl", tracer
+                )
+                write_chrome_trace(trace_dir / f"{spec.name}.trace.json", tracer)
+            except OSError as exc:
+                raise SystemExit(f"report run: {spec.name}: {exc}")
+            print(
+                f"wrote {count} spans to {trace_dir / (spec.name + '.trace.jsonl')} "
+                f"(+ Chrome trace)"
+            )
     return 0
 
 
@@ -676,7 +776,35 @@ def build_parser() -> argparse.ArgumentParser:
         "answers) or 'shed' (reject with a distinct reason code)",
     )
     serve.add_argument("--json", help="also write the full report to this JSON file")
+    serve.add_argument(
+        "--trace-out",
+        help="record the run with the deterministic span tracer and write "
+        "the JSONL span stream here (see docs/observability.md)",
+    )
+    serve.add_argument(
+        "--trace-chrome",
+        help="also write the trace as Chrome trace_event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        help="write the unified metrics snapshot (service/cache/probe/"
+        "executor/fault metrics under one naming scheme) to this JSON file",
+    )
     serve.set_defaults(handler=cmd_serve_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a JSONL span trace; optionally convert it to "
+        "Chrome trace_event JSON",
+    )
+    trace.add_argument("file", help="JSONL trace written by --trace-out")
+    trace.add_argument(
+        "--chrome",
+        help="write the Chrome trace_event conversion here "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     mutate = sub.add_parser(
         "mutate",
@@ -719,6 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="shrink every scenario to CI size (smallest graph size, "
         "capped requests and churn)",
+    )
+    report_run.add_argument(
+        "--trace-dir", default=None,
+        help="export the span trace of every [observability]-traced "
+        "scenario into this directory (<name>.trace.jsonl + Chrome "
+        "<name>.trace.json)",
     )
     report_run.set_defaults(handler=cmd_report_run)
     report_render = report_sub.add_parser(

@@ -141,6 +141,7 @@ class SpannerLCA(abc.ABC):
         self._oracle = AdjacencyListOracle(graph, self._counter)
         self._cached_oracle: Optional[CachedOracle] = None
         self._query_mode = "cold"
+        self._profiler = None
         self.probe_stats = ProbeStatistics()
 
     # ------------------------------------------------------------------ #
@@ -221,11 +222,31 @@ class SpannerLCA(abc.ABC):
         self._query_mode = _check_mode(mode)
         return self
 
+    def attach_profiler(self, profiler) -> "SpannerLCA":
+        """Attach a :class:`repro.obs.profiler.ProbeProfiler` to this LCA.
+
+        Pure observation: the profiler sees kernel phase boundaries and
+        memo-cache outcomes but never touches the counter or the cache, so
+        answers and probe accounting are unchanged (pinned by the
+        observability equivalence tests).  ``None`` detaches.  Returns
+        ``self`` for chaining.
+        """
+        self._profiler = profiler
+        self._oracle.profiler = profiler
+        cached = self._cached_oracle
+        if cached is not None:
+            cached.profiler = profiler
+            cached.cache.profiler = profiler
+        return self
+
     def _oracle_for(self, mode: str) -> AdjacencyListOracle:
         if mode == "cold":
             return self._oracle
         if self._cached_oracle is None:
             self._cached_oracle = CachedOracle(self._graph, self._counter)
+            if self._profiler is not None:
+                self._cached_oracle.profiler = self._profiler
+                self._cached_oracle.cache.profiler = self._profiler
         return self._cached_oracle
 
     def ensure_cached_oracle(self) -> CachedOracle:
@@ -345,6 +366,7 @@ class SpannerLCA(abc.ABC):
         mode: Optional[str] = None,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        tracer=None,
     ) -> MaterializedSpanner:
         """Query every edge (or the given subset) and collect the spanner.
 
@@ -368,6 +390,10 @@ class SpannerLCA(abc.ABC):
         counts fold back bit-identical to the serial engine — every query
         charges its cold-cache probe schedule no matter which worker ran it.
         ``executor=None`` (default) keeps the in-process engine above.
+
+        ``tracer`` (a :class:`repro.obs.tracer.SpanTracer`, default off)
+        wraps the run in a ``materialize`` span — observation only, answers
+        and probe accounting are unchanged.
         """
         if executor is not None:
             if mode not in (None, "batched"):
@@ -378,23 +404,40 @@ class SpannerLCA(abc.ABC):
             from ..exec import materialize_parallel
 
             return materialize_parallel(
-                self, edges=edges, executor=executor, workers=workers
+                self, edges=edges, executor=executor, workers=workers, tracer=tracer
             )
         mode = _check_mode(self._query_mode if mode is None else mode)
         result = MaterializedSpanner(
             algorithm=self.name, stretch_bound=self.stretch_bound(), edges=set()
         )
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "materialize", "exec", algorithm=self.name, mode=mode
+            ) as span:
+                self._materialize_edges(mode, edges, result)
+                span.args["edges"] = result.probe_stats.queries
+                span.args["probes"] = result.probe_stats.total
+        else:
+            self._materialize_edges(mode, edges, result)
+        return result
+
+    def _materialize_edges(
+        self,
+        mode: str,
+        edges: Optional[Iterable[Edge]],
+        result: MaterializedSpanner,
+    ) -> None:
+        """Run the in-process materialization engine for :meth:`materialize`."""
         edge_iter = self._graph.edges() if edges is None else edges
         if mode == "batched":
             self._materialize_batched(edge_iter, result, validate=edges is not None)
-            return result
+            return
         oracle = self._oracle_for(mode)
         for (u, v) in edge_iter:
             outcome = self._query_once(oracle, u, v)
             result.probe_stats.add(outcome.probe_total)
             if outcome.in_spanner:
                 result.edges.add(outcome.edge)
-        return result
 
     def _materialize_batched(
         self, edge_iter: Iterable[Edge], result: MaterializedSpanner, validate: bool

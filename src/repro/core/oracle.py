@@ -44,6 +44,10 @@ class AdjacencyListOracle:
     def __init__(self, graph: Graph, counter: Optional[ProbeCounter] = None) -> None:
         self._graph = graph
         self.counter = counter if counter is not None else ProbeCounter()
+        #: Optional :class:`repro.obs.profiler.ProbeProfiler`.  Kernels reach
+        #: it with ``getattr(oracle, "profiler", None)``; ``None`` (the
+        #: default) keeps every hot path at one attribute check.
+        self.profiler = None
 
     # ------------------------------------------------------------------ #
     # The three probe primitives
@@ -249,11 +253,15 @@ class CachedOracle(AdjacencyListOracle):
         its cold probe schedule are recomputed against the mutated graph.
         """
         cache = self.cache
+        profiler = self.profiler
+        invalidations_before = profiler.invalidations if profiler is not None else 0
         entry = cache.lookup(namespace, key)
         if entry is not None:
             value, cost = entry.value
             cache.stats.hits += 1
             self.replay(cost)
+            if profiler is not None:
+                profiler.record_hit(cost.total)
             return value
         cache.stats.misses += 1
         before = self.counter.snapshot()
@@ -261,6 +269,12 @@ class CachedOracle(AdjacencyListOracle):
             value = compute()
         cost = self.counter.snapshot() - before
         cache.store(namespace, key, (value, cost), touched)
+        if profiler is not None:
+            # The invalidation count moved during *this* lookup exactly when
+            # the miss is a stale-entry discard, not a cold first touch.
+            profiler.record_miss(
+                cost.total, invalidated=profiler.invalidations > invalidations_before
+            )
         return value
 
     # ------------------------------------------------------------------ #

@@ -49,6 +49,7 @@ def materialize_parallel(
     executor: str = "process",
     workers: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
+    tracer=None,
 ) -> MaterializedSpanner:
     """Materialize an LCA across an executor backend (see module docstring).
 
@@ -58,6 +59,12 @@ def materialize_parallel(
     :class:`~repro.exec.backends.TransientTaskError` costs a resubmission
     instead of the whole materialization.  ``None`` (the default) keeps the
     historical fail-fast behavior.
+
+    ``tracer`` (a :class:`repro.obs.tracer.SpanTracer`) records the run:
+    serial chunks get in-place ``exec.chunk`` spans (they run on this very
+    thread), pool-backed chunks get coordinator-side ``exec.fold`` instants
+    during the deterministic fold — pool threads never touch the tracer, so
+    span order is identical for every backend and worker count.
     """
     check_backend(executor)
     worker_count = resolve_workers(workers, executor)
@@ -91,6 +98,10 @@ def materialize_parallel(
             step = execute_chunk
         else:
             step = functools.partial(execute_chunk_with_retries, policy=retry)
+        tracing = tracer is not None and tracer.enabled
+        if tracing and executor == "serial" and retry is None:
+            # Serial chunks run on the coordinator thread: trace them live.
+            step = functools.partial(execute_chunk, tracer=tracer)
         chunks = backend.map_ordered(step, plans)
     finally:
         # Failure-path hygiene: a worker raising mid-run must not leak the
@@ -115,7 +126,16 @@ def materialize_parallel(
     totals = result.probe_stats.query_totals
     own_totals = lca.probe_stats.query_totals
     keep = result.edges
+    fold_trace = tracing and (executor != "serial" or retry is not None)
     for plan, chunk in zip(plans, chunks):
+        if fold_trace:
+            tracer.instant(
+                "exec.fold",
+                "exec",
+                chunk=chunk.chunk_id,
+                edges=len(plan.edges),
+                probes=chunk.probes.total,
+            )
         for (u, v), answer, total in zip(
             plan.edges, chunk.answers, chunk.probe_totals
         ):

@@ -208,7 +208,7 @@ def _lca_for(graph: Graph, spec: LCASpec) -> Tuple[SpannerLCA, SnapshotCursor]:
     return entry
 
 
-def execute_chunk(plan: ChunkPlan) -> ChunkResult:
+def execute_chunk(plan: ChunkPlan, tracer=None) -> ChunkResult:
     """The execute step: answer one chunk and report portable state.
 
     Runs the streaming cached engine (`query_batch`) against a worker-local
@@ -217,11 +217,23 @@ def execute_chunk(plan: ChunkPlan) -> ChunkResult:
     *incremental* per worker LCA: each chunk ships only the memo entries and
     hit/miss counts added since the worker's previous chunk, so the
     coordinator's fold sees every entry and every statistic exactly once.
+
+    ``tracer`` emits one ``exec.chunk`` span per chunk.  Only the *serial*
+    backend passes one through (chunks then run on the coordinator's own
+    thread, so span order stays deterministic); pool backends trace at the
+    coordinator's fold instead (see :mod:`repro.exec.parallel`).
     """
     graph = _resolve_graph(plan.graph)
     lca, cursor = _lca_for(graph, plan.spec)
     before = lca.probe_counter.snapshot()
-    batch = lca.query_batch(plan.edges, validate=False)
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            "exec.chunk", "exec", chunk=plan.chunk_id, edges=len(plan.edges)
+        ) as span:
+            batch = lca.query_batch(plan.edges, validate=False)
+            span.args["probes"] = (lca.probe_counter.snapshot() - before).total
+    else:
+        batch = lca.query_batch(plan.edges, validate=False)
     oracle = lca.ensure_cached_oracle()
     return ChunkResult(
         chunk_id=plan.chunk_id,

@@ -102,6 +102,17 @@ class FaultStats:
             + self.transient_errors
         )
 
+    def register_into(self, registry, prefix: str = "faults") -> None:
+        """Register every counter into a metrics registry under ``prefix``.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry` (duck
+        typed so this module stays importable without the obs plane); the
+        names follow the repo-wide ``<plane>.<noun>`` scheme documented in
+        ``docs/observability.md``.
+        """
+        for name, value in self.as_dict().items():
+            registry.counter(f"{prefix}.{name}", value)
+
 
 @dataclass
 class FaultInjector:

@@ -1,0 +1,188 @@
+"""Trace export: JSONL span streams and Chrome ``trace_event`` JSON.
+
+Two interchangeable on-disk shapes for one span stream:
+
+* **JSONL** (:func:`trace_jsonl` / :func:`write_trace_jsonl`) — one
+  sorted-key JSON object per span per line, the byte-comparable archival
+  format the determinism tests pin.  :func:`read_trace_jsonl` is the
+  validating reader (one-line ``path:lineno`` errors, same contract as the
+  request-trace reader in :mod:`repro.service.trace`).
+* **Chrome trace_event** (:func:`chrome_trace` / :func:`write_chrome_trace`)
+  — the ``{"traceEvents": [...]}`` document Perfetto and
+  ``chrome://tracing`` load directly: complete (``"X"``) events for spans,
+  instant (``"i"``) events for zero-duration markers, tracer ticks mapped
+  to microseconds.
+
+:func:`summarize_spans` reduces a span stream to per-``(cat, name)`` rows
+(count, total/max ticks) — the "trace summary" table in rendered reports
+and the default output of the ``repro trace`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .tracer import Span
+
+PathLike = Union[str, Path]
+
+#: Version stamped into every exported trace record.
+TRACE_SCHEMA = 1
+
+#: Keys every JSONL trace record must carry.
+_REQUIRED_KEYS = ("schema", "id", "parent", "name", "cat", "begin", "end", "args")
+
+
+def _as_spans(source) -> List[Span]:
+    """Normalize a tracer or an iterable of spans into a span list."""
+    finished = getattr(source, "finished", None)
+    if callable(finished):
+        return list(finished())
+    return list(source)
+
+
+def span_records(source) -> List[Dict[str, object]]:
+    """Plain-dict records for a span stream, sorted by (begin tick, id).
+
+    ``source`` may be a tracer, an iterable of :class:`Span` objects, or an
+    iterable of already-exported record dicts (what :func:`read_trace_jsonl`
+    returns) — the CLI summarizes and converts loaded traces through the
+    same path the live tracer uses.
+    """
+    records = []
+    for item in _as_spans(source):
+        if isinstance(item, dict):
+            records.append(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "id": int(item["id"]),
+                    "parent": item["parent"],
+                    "name": str(item["name"]),
+                    "cat": str(item["cat"]),
+                    "begin": int(item["begin"]),
+                    "end": int(item["end"]),
+                    "args": dict(item["args"]),
+                }
+            )
+        else:
+            records.append(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "id": item.span_id,
+                    "parent": item.parent_id,
+                    "name": item.name,
+                    "cat": item.cat,
+                    "begin": item.begin,
+                    "end": item.end if item.end is not None else item.begin,
+                    "args": dict(item.args),
+                }
+            )
+    records.sort(key=lambda record: (record["begin"], record["id"]))
+    return records
+
+
+def trace_jsonl(source) -> str:
+    """The JSONL document for a span stream (sorted keys, one span/line)."""
+    lines = [json.dumps(record, sort_keys=True) for record in span_records(source)]
+    return "".join(line + "\n" for line in lines)
+
+
+def write_trace_jsonl(path: PathLike, source) -> int:
+    """Write a JSONL trace; returns the number of span records written."""
+    text = trace_jsonl(source)
+    Path(path).write_text(text, encoding="utf-8")
+    return text.count("\n")
+
+
+def read_trace_jsonl(path: PathLike) -> List[Dict[str, object]]:
+    """Load and validate a JSONL trace written by :func:`write_trace_jsonl`.
+
+    Raises :class:`ValueError` with a one-line ``path:lineno`` message on
+    malformed records — the ``repro trace`` subcommand converts it into its
+    nonzero one-line exit.
+    """
+    records: List[Dict[str, object]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read trace file {path}: {exc.strerror or exc}") from None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            raise ValueError(f"{path}:{lineno}: malformed trace record") from None
+        if not isinstance(record, dict) or any(
+            key not in record for key in _REQUIRED_KEYS
+        ):
+            raise ValueError(f"{path}:{lineno}: malformed trace record")
+        if record["schema"] != TRACE_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: trace schema {record['schema']!r}; "
+                f"this build reads {TRACE_SCHEMA}"
+            )
+        records.append(record)
+    return records
+
+
+def chrome_trace(source) -> Dict[str, object]:
+    """The Chrome ``trace_event`` document for a span stream.
+
+    Spans become complete (``"X"``) events, zero-duration markers instant
+    (``"i"``) events; one tracer tick is mapped to one microsecond so
+    Perfetto's timeline stays readable.
+    """
+    events: List[Dict[str, object]] = []
+    for record in span_records(source):
+        begin = int(record["begin"])
+        end = int(record["end"])
+        args = dict(record["args"])
+        if record["parent"] is not None:
+            args["parent"] = record["parent"]
+        common = {
+            "pid": 1,
+            "tid": 1,
+            "name": record["name"],
+            "cat": record["cat"],
+            "ts": begin,
+            "args": args,
+        }
+        if end > begin:
+            events.append({**common, "ph": "X", "dur": end - begin})
+        else:
+            events.append({**common, "ph": "i", "s": "t"})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"trace_schema": TRACE_SCHEMA, "clock": "tracer-ticks"},
+    }
+
+
+def write_chrome_trace(path: PathLike, source) -> int:
+    """Write a Chrome trace JSON; returns the number of events written."""
+    document = chrome_trace(source)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(document["traceEvents"])
+
+
+def summarize_spans(source) -> List[Dict[str, object]]:
+    """Per-``(cat, name)`` summary rows: count, total ticks, max ticks."""
+    totals: Dict[tuple, Dict[str, int]] = {}
+    for record in span_records(source):
+        key = (str(record["cat"]), str(record["name"]))
+        row = totals.setdefault(key, {"count": 0, "ticks": 0, "max_ticks": 0})
+        duration = int(record["end"]) - int(record["begin"])
+        row["count"] += 1
+        row["ticks"] += duration
+        row["max_ticks"] = max(row["max_ticks"], duration)
+    rows = []
+    for (cat, name) in sorted(totals):
+        row = totals[(cat, name)]
+        rows.append({"cat": cat, "name": name, **row})
+    return rows

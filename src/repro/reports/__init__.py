@@ -37,6 +37,7 @@ from .spec import (
     GraphSpec,
     MaterializeSpec,
     MutationSpec,
+    ObservabilitySpec,
     ScenarioSpec,
     ServiceSpec,
     SpecError,
@@ -50,6 +51,7 @@ __all__ = [
     "GraphSpec",
     "MaterializeSpec",
     "MutationSpec",
+    "ObservabilitySpec",
     "ScenarioSpec",
     "ServiceSpec",
     "SpecError",

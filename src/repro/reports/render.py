@@ -15,6 +15,12 @@ would show, built only from the deterministic payloads the store holds:
 * **Fault tolerance** — availability and fault-plane counters (failovers,
   retries, timeouts, degraded answers/sheds) for every scenario that ran
   with a ``[scenario.faults]`` chaos plan.
+* **Trace summary** — per-(category, span) counts and tracer-tick totals of
+  the service phase's deterministic span stream, for every scenario with a
+  ``[scenario.observability]`` table.
+* **Probe attribution** — flame-style per-kernel-phase probe breakdown
+  (bfs / voronoi / neighbor-scan, plus the unattributed residual) and the
+  per-cache-outcome table (cold / memo-hit / epoch-invalidated).
 
 Rendering is a pure function of the payloads: rows are sorted by scenario
 name (then size), floats are formatted by the shared table formatter, and
@@ -185,6 +191,111 @@ def _fault_rows(results: Sequence[Dict[str, object]]) -> List[Dict[str, object]]
     return rows
 
 
+def _observability(payload: Dict[str, object]) -> Dict[str, object]:
+    service = payload.get("service")
+    if not service:
+        return {}
+    return service.get("observability") or {}
+
+
+def _trace_rows(results: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    rows = []
+    for payload in results:
+        obs = _observability(payload)
+        trace = obs.get("trace")
+        if not trace:
+            continue
+        for entry in trace.get("summary", []):
+            rows.append(
+                {
+                    "scenario": payload.get("name"),
+                    "cat": entry.get("cat"),
+                    "span": entry.get("name"),
+                    "count": entry.get("count"),
+                    "ticks": entry.get("ticks"),
+                    "max ticks": entry.get("max_ticks"),
+                    "dropped": trace.get("dropped", 0),
+                }
+            )
+    return rows
+
+
+def _phase_rows(results: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    rows = []
+    for payload in results:
+        obs = _observability(payload)
+        profile = obs.get("profile")
+        if not profile:
+            continue
+        phases = profile.get("phases", {})
+        total = (
+            obs.get("metrics", {})
+            .get("metrics", {})
+            .get("probes.total", {})
+            .get("value")
+        )
+        attributed = sum(entry.get("total", 0) for entry in phases.values())
+        ordered = sorted(
+            phases.items(), key=lambda item: (-item[1].get("total", 0), item[0])
+        )
+        for label, entry in ordered:
+            rows.append(
+                {
+                    "scenario": payload.get("name"),
+                    "phase": label,
+                    "calls": entry.get("calls"),
+                    "neighbor": entry.get("neighbor"),
+                    "degree": entry.get("degree"),
+                    "adjacency": entry.get("adjacency"),
+                    "probes": entry.get("total"),
+                    "share": (
+                        round(entry.get("total", 0) / total, 3) if total else None
+                    ),
+                }
+            )
+        if total:
+            rows.append(
+                {
+                    "scenario": payload.get("name"),
+                    "phase": "other",
+                    "calls": None,
+                    "neighbor": None,
+                    "degree": None,
+                    "adjacency": None,
+                    "probes": max(0, int(total) - attributed),
+                    "share": round(max(0, int(total) - attributed) / total, 3),
+                }
+            )
+    return rows
+
+
+def _outcome_rows(results: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    rows = []
+    for payload in results:
+        obs = _observability(payload)
+        profile = obs.get("profile")
+        if not profile:
+            continue
+        for outcome, entry in profile.get("outcomes", {}).items():
+            rows.append(
+                {
+                    "scenario": payload.get("name"),
+                    "outcome": outcome,
+                    "calls": entry.get("calls"),
+                    "probes": entry.get("probes"),
+                }
+            )
+        rows.append(
+            {
+                "scenario": payload.get("name"),
+                "outcome": "invalidations",
+                "calls": profile.get("invalidations", 0),
+                "probes": None,
+            }
+        )
+    return rows
+
+
 def _hit_rate(service: Dict[str, object]) -> Optional[float]:
     shards = service.get("shards") or []
     hits = sum(shard.get("cache_hits", 0) for shard in shards)
@@ -219,6 +330,21 @@ def render_report(results: Sequence[Dict[str, object]]) -> str:
         ),
         format_markdown_table(
             _fault_rows(results), title="Fault tolerance (chaos scenarios)", level=2
+        ),
+        format_markdown_table(
+            _trace_rows(results),
+            title="Trace summary (observability scenarios)",
+            level=2,
+        ),
+        format_markdown_table(
+            _phase_rows(results),
+            title="Probe attribution by kernel phase",
+            level=2,
+        ),
+        format_markdown_table(
+            _outcome_rows(results),
+            title="Probe attribution by cache outcome",
+            level=2,
         ),
     ]
     return "\n\n".join(sections) + "\n"

@@ -34,6 +34,7 @@ from ..core.ids import canonical_edge
 from ..core.registry import create
 from ..graphs.generators import build_family
 from ..graphs.graph import Graph
+from ..obs import ProbeProfiler, SpanTracer, collect_run_metrics, summarize_spans
 from ..service import ServiceConfig, ServiceEngine, make_workload
 from .spec import ScenarioSpec
 
@@ -236,8 +237,16 @@ def _run_size(spec: ScenarioSpec, n: int) -> SizeResult:
     )
 
 
-def _run_service(spec: ScenarioSpec) -> Dict[str, object]:
-    """The online phase: serve the declared workload on the largest size."""
+def _run_service(spec: ScenarioSpec, tracer=None) -> Dict[str, object]:
+    """The online phase: serve the declared workload on the largest size.
+
+    With an ``[observability]`` table the run carries a tracer and/or a
+    probe profiler (both pure observation — the report's numbers are
+    unchanged) and the payload gains an ``observability`` block: trace
+    summary, per-phase / per-outcome probe attribution, and one unified
+    metrics snapshot.  A caller-supplied ``tracer`` (the trace-export path)
+    replaces the internally built one.
+    """
     assert spec.workload is not None
     n = max(spec.graph.sizes)
     graph = _build_graph(spec, n)
@@ -274,20 +283,46 @@ def _run_service(spec: ScenarioSpec) -> Dict[str, object]:
         lambda g: create(spec.algorithm, g, seed=spec.seed, **spec.algorithm_options),
         config,
     )
-    report = engine.run(workload, clock=TickClock())
+    obs = spec.observability
+    profiler = ProbeProfiler() if obs is not None and obs.profile else None
+    run_tracer = None
+    if obs is not None and obs.trace:
+        run_tracer = tracer if tracer is not None else SpanTracer(capacity=obs.capacity)
+    report = engine.run(
+        workload, clock=TickClock(), tracer=run_tracer, profiler=profiler
+    )
     payload = report.as_dict()
     payload["n"] = graph.num_vertices
     payload["clock"] = "virtual-ticks"
+    if obs is not None:
+        observability: Dict[str, object] = {}
+        if run_tracer is not None:
+            observability["trace"] = {
+                "spans": len(run_tracer.finished()),
+                "dropped": run_tracer.dropped,
+                "summary": summarize_spans(run_tracer),
+            }
+        if profiler is not None:
+            observability["profile"] = profiler.as_dict()
+        observability["metrics"] = collect_run_metrics(report, profiler).snapshot()
+        payload["observability"] = observability
     return payload
 
 
-def run_scenario(spec: ScenarioSpec, smoke: bool = False) -> ScenarioResult:
-    """Run one scenario end to end (offline sizes sweep + online phase)."""
+def run_scenario(
+    spec: ScenarioSpec, smoke: bool = False, tracer=None
+) -> ScenarioResult:
+    """Run one scenario end to end (offline sizes sweep + online phase).
+
+    ``tracer`` (used by the trace-export CLI path and the determinism
+    tests) hands the service phase an external span tracer; it only takes
+    effect when the spec's ``[observability]`` table enables tracing.
+    """
     if smoke:
         spec = spec_for_smoke(spec)
     result = ScenarioResult(spec=spec, smoke=smoke)
     for n in spec.graph.sizes:
         result.sizes.append(_run_size(spec, n))
     if spec.workload is not None:
-        result.service = _run_service(spec)
+        result.service = _run_service(spec, tracer=tracer)
     return result

@@ -34,6 +34,10 @@ The sub-tables mirror the layers they configure:
     a seeded chaos storm injected during the service phase — crash /
     shard-loss / slow / flaky counts over a cycle horizon, expanded into a
     deterministic :class:`~repro.faults.FaultPlan` at run time.
+``[scenario.observability]``
+    deterministic tracing and probe attribution for the service phase
+    (:mod:`repro.obs`) — the result gains a trace summary, a per-phase /
+    per-cache-outcome probe breakdown and one unified metrics snapshot.
 """
 
 from __future__ import annotations
@@ -314,6 +318,38 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class ObservabilitySpec:
+    """The observability axis: tracing + probe attribution for the run.
+
+    Pure observation — enabling it never changes answers, probe totals or
+    the virtual-clock latency numbers (the tracer keeps its own tick
+    clock), so any scenario can turn it on without perturbing results.
+    ``capacity`` bounds the tracer's span ring buffer.
+    """
+
+    trace: bool = True
+    profile: bool = True
+    capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        _require(self.capacity >= 1, "observability capacity must be >= 1")
+        _require(
+            self.trace or self.profile,
+            "an [observability] table must enable trace and/or profile",
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {}
+        if not self.trace:
+            payload["trace"] = False
+        if not self.profile:
+            payload["profile"] = False
+        if self.capacity != 65536:
+            payload["capacity"] = self.capacity
+        return payload
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One declarative experiment: every axis the planes expose, as data."""
 
@@ -328,6 +364,8 @@ class ScenarioSpec:
     service: ServiceSpec = field(default_factory=ServiceSpec)
     #: Chaos storm injected during the service phase (needs a workload).
     faults: Optional[FaultSpec] = None
+    #: Tracing / probe attribution for the service phase (needs a workload).
+    observability: Optional[ObservabilitySpec] = None
     #: Extra keyword arguments for the LCA factory (e.g. ``stretch_parameter``
     #: for ``spannerk``).  Values must be JSON-serializable.
     algorithm_options: Dict[str, object] = field(default_factory=dict)
@@ -344,6 +382,12 @@ class ScenarioSpec:
                 self.workload is not None,
                 "a [faults] table needs a [workload] (faults are injected "
                 "into the service phase)",
+            )
+        if self.observability is not None:
+            _require(
+                self.workload is not None,
+                "an [observability] table needs a [workload] (tracing and "
+                "attribution cover the service phase)",
             )
 
     # ------------------------------------------------------------------ #
@@ -369,6 +413,8 @@ class ScenarioSpec:
             payload["service"] = self.service.as_dict()
         if self.faults is not None:
             payload["faults"] = self.faults.as_dict()
+        if self.observability is not None:
+            payload["observability"] = self.observability.as_dict()
         return payload
 
     @classmethod
@@ -387,6 +433,7 @@ class ScenarioSpec:
             "workload",
             "service",
             "faults",
+            "observability",
             "algorithm_options",
         }
         unknown = sorted(set(data) - known)
@@ -412,6 +459,11 @@ class ScenarioSpec:
                 faults=(
                     _sub(FaultSpec, data.get("faults"), "faults")
                     if data.get("faults") is not None
+                    else None
+                ),
+                observability=(
+                    _sub(ObservabilitySpec, data.get("observability"), "observability")
+                    if data.get("observability") is not None
                     else None
                 ),
                 algorithm_options=dict(data.get("algorithm_options", {})),

@@ -127,6 +127,7 @@ from ..core.probes import ProbeStatistics
 from ..exec import PINNED_BACKENDS, PinnedWorkers, RetryPolicy, TransientTaskError
 from ..faults import FaultInjector, FaultPlan, FaultStats
 from ..graphs.graph import Graph
+from ..obs.profiler import ProbeProfiler
 from .metrics import LatencyStats, ServiceReport
 from .shards import ROUTING_POLICIES, ShardedOraclePool
 from .trace import TraceOp
@@ -283,10 +284,16 @@ class _Part(NamedTuple):
 
 
 class _InflightBatch(NamedTuple):
-    """A dispatched batch: its requests plus one part per shard group."""
+    """A dispatched batch: its requests plus one part per shard group.
+
+    ``span`` is the open ``service.batch`` tracer span (None untraced);
+    batches may complete out of submission order under pipelining, which is
+    why the span is carried here instead of living on the tracer's stack.
+    """
 
     requests: List[_Pending]
     parts: List[_Part]
+    span: object = None
 
 
 #: Sentinel outcome for requests that could not be served (degraded path).
@@ -326,12 +333,63 @@ class ServiceEngine:
         #: ``config.record``); replayed by the equivalence tests.
         self.records: List[RequestRecord] = []
 
-    def run(self, workload: Workload, clock=time.perf_counter) -> ServiceReport:
+    def run(
+        self,
+        workload: Workload,
+        clock=time.perf_counter,
+        tracer=None,
+        profiler=None,
+    ) -> ServiceReport:
         """Serve the whole workload; returns the telemetry report.
 
         ``clock`` is injectable for tests; it must be monotone.  All
         recorded timestamps (arrival, completion, duration) come from it.
+
+        ``tracer`` (a :class:`repro.obs.tracer.SpanTracer`) records the run
+        as a deterministic span hierarchy: one ``service.run`` root, one
+        ``service.batch`` span per dispatched batch (opened at submission,
+        closed at completion — pipelined batches overlap), and instants for
+        sheds, writes, failovers, retries, timeouts and checkpoints.  The
+        tracer keeps its own tick clock and is only touched from the
+        coordinator thread, so traces are byte-identical across runs,
+        executors and worker counts — and never advance the injected clock.
+
+        ``profiler`` (a :class:`repro.obs.profiler.ProbeProfiler`) receives
+        the run's probe attribution: a fresh profiler rides on every shard
+        replica for the duration of the run and all of them are merged into
+        the caller's, in (shard, replica) order, when the run finishes.
+        Both hooks are pure observation — answers, probe totals and latency
+        stamps are unchanged (pinned by the obs equivalence tests).
         """
+        attached = []
+        if profiler is not None:
+            for replica_set in self.pool.replica_sets:
+                for shard in replica_set.replicas:
+                    local = ProbeProfiler()
+                    shard.lca.attach_profiler(local)
+                    attached.append((shard, local))
+        try:
+            if tracer is not None and tracer.enabled:
+                with tracer.span(
+                    "service.run",
+                    "service",
+                    algorithm=self.pool.algorithm,
+                    workload=workload.kind,
+                    shards=self.config.num_shards,
+                    replication=self.config.replication,
+                ) as root:
+                    report = self._run(workload, clock, tracer)
+                    root.args["served"] = report.served
+                    root.args["batches"] = report.batches
+            else:
+                report = self._run(workload, clock, None)
+        finally:
+            for shard, local in attached:
+                profiler.merge(local)
+                shard.lca.attach_profiler(None)
+        return report
+
+    def _run(self, workload: Workload, clock, tracer) -> ServiceReport:
         config = self.config
         pool = self.pool
         replica_sets = pool.replica_sets
@@ -347,6 +405,7 @@ class ServiceEngine:
         timeout_ticks = config.timeout_ticks
         retry_policy = config.retry_policy
         degraded_shed = config.degraded_mode == "shed"
+        tracing = tracer is not None and tracer.enabled
 
         injector: Optional[FaultInjector] = None
         if config.fault_plan is not None:
@@ -420,15 +479,30 @@ class ServiceEngine:
                 """Submit one shard group, applying injected faults."""
                 idx = serving_replica(shard_id)
                 if idx is None:
+                    if tracing:
+                        tracer.instant(
+                            "service.part_down", "fault",
+                            shard=shard_id, size=len(group),
+                        )
                     return _Part(None, positions, group, shard_id, "down", 0, single)
                 delay = 0
                 if faults_on:
                     if injector.take_flake(shard_id, idx):
+                        if tracing:
+                            tracer.instant(
+                                "service.part_flaky", "fault",
+                                shard=shard_id, replica=idx,
+                            )
                         return _Part(
                             None, positions, group, shard_id, "flaky", 0, single
                         )
                     delay = injector.take_delay(shard_id, idx)
                     if delay >= timeout_ticks:
+                        if tracing:
+                            tracer.instant(
+                                "service.part_timeout", "fault",
+                                shard=shard_id, replica=idx, delay=delay,
+                            )
                         return _Part(
                             None, positions, group, shard_id, "timeout", delay, single
                         )
@@ -479,6 +553,11 @@ class ServiceEngine:
                     for _ in range(retry_policy.backoff_ticks(attempt)):
                         clock()
                     fstats.retries += 1
+                    if tracing:
+                        tracer.instant(
+                            "service.retry", "fault",
+                            shard=part.shard_id, kind=part.kind, attempt=attempt,
+                        )
                     attempt += 1
                     # Resubmit to the *current* primary — it may differ
                     # from the original target after a failover.
@@ -488,7 +567,8 @@ class ServiceEngine:
 
             def complete_oldest() -> None:
                 nonlocal served, in_spanner, admitted, rejected
-                batch, parts = inflight.popleft()
+                batch, parts, span = inflight.popleft()
+                batch_served = batch_probes = 0
                 outcomes: List[object] = [None] * len(batch)
                 stamps: List[float] = [0.0] * len(batch)
                 if coalesce:
@@ -533,6 +613,8 @@ class ServiceEngine:
                     else:
                         answer, probes = outcome
                     served += 1
+                    batch_served += 1
+                    batch_probes += probes
                     if answer:
                         in_spanner += 1
                     elapsed = done - req.arrival_s
@@ -546,6 +628,8 @@ class ServiceEngine:
                                 degraded,
                             )
                         )
+                if span is not None:
+                    tracer.end(span, served=batch_served, probes=batch_probes)
 
             def try_apply_write(write: _Pending) -> bool:
                 # Writes are scheduling barriers: every dispatched read batch
@@ -576,6 +660,11 @@ class ServiceEngine:
                     if not queued:
                         del pending_writes[key]
                 mutations_applied += 1
+                if tracing:
+                    tracer.instant(
+                        "service.write", "service",
+                        op=write.op, shard=shard_id, cycle=cycle,
+                    )
                 return True
 
             cycle = -1
@@ -598,6 +687,11 @@ class ServiceEngine:
                         if live:
                             primary[shard_id] = live[0]
                             fstats.failovers += 1
+                            if tracing:
+                                tracer.instant(
+                                    "service.failover", "fault",
+                                    shard=shard_id, replica=live[0], cycle=cycle,
+                                )
                             workers.submit(
                                 worker_key(shard_id, live[0]),
                                 replica_sets[shard_id].sync,
@@ -616,6 +710,11 @@ class ServiceEngine:
                                     idx,
                                 ).result()
                                 fstats.checkpoints += 1
+                                if tracing:
+                                    tracer.instant(
+                                        "service.checkpoint", "service",
+                                        shard=shard_id, replica=idx, cycle=cycle,
+                                    )
                         checkpointed_at = batches
 
                 # ---- ingest: up to `burst` arrivals through admission control
@@ -646,6 +745,11 @@ class ServiceEngine:
                         invalid += 1
                         rejected += 1
                         shed_reasons["invalid"] += 1
+                        if tracing:
+                            tracer.instant(
+                                "service.shed", "service",
+                                reason="invalid", cycle=cycle,
+                            )
                         continue
                     if faults_on and degraded_shed:
                         # Shed-mode degradation starts at the front door: a
@@ -656,10 +760,20 @@ class ServiceEngine:
                             rejected += 1
                             shed_reasons["degraded"] += 1
                             fstats.degraded_sheds += 1
+                            if tracing:
+                                tracer.instant(
+                                    "service.shed", "service",
+                                    reason="degraded", cycle=cycle,
+                                )
                             continue
                     if len(queue) >= depth_limit:
                         rejected += 1
                         shed_reasons["overload"] += 1
+                        if tracing:
+                            tracer.instant(
+                                "service.shed", "service",
+                                reason="overload", cycle=cycle,
+                            )
                         continue
                     seq += 1
                     queue.append(_Pending(seq, u, v, clock()))
@@ -677,6 +791,10 @@ class ServiceEngine:
                             continue
                         write_blocked = True
                         fstats.blocked_write_cycles += 1
+                        if tracing:
+                            tracer.instant(
+                                "service.write_blocked", "fault", cycle=cycle
+                            )
                         break
                     if len(inflight) >= max_inflight:
                         break
@@ -705,7 +823,17 @@ class ServiceEngine:
                             )
                             for position, req in enumerate(batch)
                         ]
-                    inflight.append(_InflightBatch(batch, parts))
+                    span = None
+                    if tracing:
+                        span = tracer.begin(
+                            "service.batch",
+                            "service",
+                            cycle=cycle,
+                            batch=batches,
+                            size=len(batch),
+                            parts=len(parts),
+                        )
+                    inflight.append(_InflightBatch(batch, parts, span))
 
                 # ---- complete: resolve the oldest batch, in dispatch order
                 if inflight and (

@@ -50,9 +50,18 @@ def _new_cluster_scan_fast(
     ``in_cluster_of`` filter always spends its ``Adjacency`` probe).  The
     filter itself is a set difference against the memoized ``S(neighbor)``.
     """
+    # Probe attribution: the whole scan window is the "neighbor-scan" phase.
+    profiler = getattr(oracle, "profiler", None)
+    frame = (
+        profiler.begin_phase("neighbor-scan", oracle.counter)
+        if profiler is not None
+        else None
+    )
     _, centers_of_x, scanned = centers.prefix_sets(oracle, x)
     oracle.charge(degree=1, neighbor=scanned)
     if not centers_of_x:
+        if frame is not None:
+            profiler.end_phase(frame)
         return False
     remaining = set(centers_of_x)
     row = oracle.cache.neighbors(w)
@@ -65,6 +74,8 @@ def _new_cluster_scan_fast(
         adjacency_probes += len(remaining)
         remaining -= centers.prefix_sets(oracle, row[j])[1]
     oracle.charge(neighbor=neighbor_probes, adjacency=adjacency_probes)
+    if frame is not None:
+        profiler.end_phase(frame)
     return bool(remaining)
 
 

@@ -88,6 +88,10 @@ def explore(
     Probe cost: at most ``limit − 1`` vertices are expanded, each with one
     ``Degree`` probe and ``deg`` ``Neighbor`` probes, i.e. O(Δ·L) in total.
     """
+    # Attribution only: when a profiler rides on the oracle, the whole
+    # exploration's probe delta is charged to the "bfs" phase.
+    profiler = getattr(oracle, "profiler", None)
+    frame = profiler.begin_phase("bfs", oracle.counter) if profiler is not None else None
     result = Exploration(source=source, radius=radius, limit=limit)
     result.order.append(source)
     result.distance[source] = 0
@@ -118,6 +122,8 @@ def explore(
                 break
         if result.truncated:
             break
+    if frame is not None:
+        profiler.end_phase(frame)
     return result
 
 

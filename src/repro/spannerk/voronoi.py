@@ -176,6 +176,14 @@ class LocalView:
         key = ("children", vertex)
         if key in self._cache:
             return self._cache[key]
+        # Probe attribution: the child scan is Voronoi-tree machinery; the
+        # explorations it triggers attribute their own windows to "bfs".
+        profiler = getattr(self.oracle, "profiler", None)
+        frame = (
+            profiler.begin_phase("voronoi", self.oracle.counter)
+            if profiler is not None
+            else None
+        )
         own_center = self.center(vertex)
         children: List[int] = []
         if own_center is not None:
@@ -186,6 +194,8 @@ class LocalView:
                     continue
                 if self.parent(w) == vertex:
                     children.append(w)
+        if frame is not None:
+            profiler.end_phase(frame)
         self._cache[key] = children
         return children
 
@@ -227,7 +237,12 @@ class LocalView:
         key = ("cluster", vertex)
         if key in self._cache:
             return self._cache[key]
-        info = self._compute_cluster(vertex)
+        profiler = getattr(self.oracle, "profiler", None)
+        if profiler is not None:
+            with profiler.phase("voronoi", self.oracle.counter):
+                info = self._compute_cluster(vertex)
+        else:
+            info = self._compute_cluster(vertex)
         self._cache[key] = info
         if info is not None:
             # Every member belongs to the same cluster; share the result.

@@ -543,3 +543,146 @@ def test_degraded_mode_flag_validates_choices(graph_file, capsys):
         main(["serve-bench", "--graph", graph_file,
               "--degraded-mode", "panic"])
     assert excinfo.value.code == 2  # argparse usage error
+
+# --------------------------------------------------------------------------- #
+# Observability plane (trace subcommand, export flags, report --trace-dir)
+# --------------------------------------------------------------------------- #
+def _serve_with_trace(graph_file, tmp_path):
+    trace_path = tmp_path / "spans.jsonl"
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--requests", "150",
+         "--shards", "2", "--batch-size", "8", "--seed", "4",
+         "--trace-out", str(trace_path)]
+    )
+    assert code == 0
+    return trace_path
+
+
+def test_serve_bench_exports_trace_chrome_and_metrics(graph_file, capsys, tmp_path):
+    import json
+
+    jsonl = tmp_path / "spans.jsonl"
+    chrome = tmp_path / "spans.json"
+    metrics = tmp_path / "metrics.json"
+    code = main(
+        ["serve-bench", "--graph", graph_file, "--requests", "150",
+         "--shards", "2", "--batch-size", "8", "--seed", "4",
+         "--trace-out", str(jsonl), "--trace-chrome", str(chrome),
+         "--metrics-out", str(metrics)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "spans" in out and "metrics" in out
+
+    from repro.obs import read_trace_jsonl
+
+    records = read_trace_jsonl(jsonl)
+    assert records
+    names = {record["name"] for record in records}
+    assert {"service.run", "service.batch"} <= names
+    document = json.loads(chrome.read_text())
+    assert len(document["traceEvents"]) == len(records)
+    snapshot = json.loads(metrics.read_text())
+    assert snapshot["schema"] == 1
+    assert snapshot["metrics"]["service.requests.served"]["value"] == 150
+    assert "cache.outcome.memo_hit.calls" in snapshot["metrics"]
+
+
+def test_trace_command_summarizes_a_trace(graph_file, capsys, tmp_path):
+    trace_path = _serve_with_trace(graph_file, tmp_path)
+    capsys.readouterr()
+    assert main(["trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "service.run" in out
+    assert "ticks" in out
+
+
+def test_trace_command_converts_to_chrome(graph_file, capsys, tmp_path):
+    import json
+
+    trace_path = _serve_with_trace(graph_file, tmp_path)
+    chrome_path = tmp_path / "chrome.json"
+    assert main(["trace", str(trace_path), "--chrome", str(chrome_path)]) == 0
+    document = json.loads(chrome_path.read_text())
+    assert document["traceEvents"]
+    assert {event["ph"] for event in document["traceEvents"]} <= {"X", "i"}
+
+
+def test_trace_command_rejects_missing_file_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="trace: cannot read trace file"):
+        main(["trace", str(tmp_path / "missing.jsonl")])
+
+
+def test_trace_command_rejects_corrupt_file_cleanly(tmp_path):
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_text("this is not a span\n", encoding="utf-8")
+    with pytest.raises(SystemExit, match="trace: .*:1: malformed trace record"):
+        main(["trace", str(corrupt)])
+
+
+def test_trace_command_handles_empty_trace(capsys, tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    assert main(["trace", str(empty)]) == 0
+    assert "0 spans" in capsys.readouterr().out
+
+
+def _write_obs_report_spec(tmp_path):
+    spec_path = tmp_path / "obs.toml"
+    spec_path.write_text(
+        "\n".join(
+            [
+                "[[scenario]]",
+                'name = "cli-obs"',
+                'algorithm = "spanner3"',
+                "seed = 7",
+                "[scenario.graph]",
+                'family = "gnp"',
+                "sizes = [40]",
+                "density = 0.2",
+                "seed = 3",
+                "[scenario.workload]",
+                'kind = "uniform"',
+                "requests = 30",
+                "seed = 1",
+                "[scenario.service]",
+                "shards = 2",
+                "batch_size = 8",
+                "[scenario.observability]",
+                "trace = true",
+                "profile = true",
+                "",
+            ]
+        ),
+        encoding="utf-8",
+    )
+    return spec_path
+
+
+def test_report_run_trace_dir_exports_deterministic_traces(tmp_path, capsys):
+    spec_path = _write_obs_report_spec(tmp_path)
+    exports = []
+    for label in ("one", "two"):
+        results = tmp_path / f"results-{label}"
+        traces = tmp_path / f"traces-{label}"
+        code = main(
+            ["report", "run", str(spec_path), "--results", str(results),
+             "--trace-dir", str(traces)]
+        )
+        assert code == 0
+        jsonl = traces / "cli-obs.trace.jsonl"
+        chrome = traces / "cli-obs.trace.json"
+        assert jsonl.exists() and chrome.exists()
+        exports.append(jsonl.read_bytes())
+    assert exports[0] == exports[1]
+
+    # The rendered report gains the observability sections.
+    out_path = tmp_path / "report.md"
+    code = main(
+        ["report", "render", "--results", str(tmp_path / "results-one"),
+         "--out", str(out_path)]
+    )
+    assert code == 0
+    markdown = out_path.read_text(encoding="utf-8")
+    assert "## Trace summary (observability scenarios)" in markdown
+    assert "## Probe attribution by kernel phase" in markdown

@@ -1,0 +1,69 @@
+"""Property pin of ``LatencyStats.merge`` against the flat-list oracle.
+
+``merge`` combines two already-sorted per-shard sample views with a linear
+two-pointer pass instead of concatenating and re-sorting.  The oracle here
+is the behavior it replaces: a fresh ``LatencyStats`` fed every sample of
+both sides through :meth:`add`.  Summaries (count, mean, max, every pinned
+percentile) must be identical, and the maintained sorted view must be the
+true sorted union — including duplicate and negative-magnitude floats.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.metrics import LatencyStats
+
+samples = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+    ),
+    max_size=60,
+)
+
+
+def from_samples(values):
+    stats = LatencyStats()
+    for value in values:
+        stats.add(value)
+    return stats
+
+
+@settings(deadline=None, max_examples=200)
+@given(left=samples, right=samples)
+def test_merge_matches_flat_list_oracle(left, right):
+    merged = from_samples(left)
+    merged.merge(from_samples(right))
+    oracle = from_samples(left + right)
+    assert merged.samples_s == oracle.samples_s
+    assert merged._sorted_samples() == sorted(left + right)
+    assert merged.as_dict() == oracle.as_dict()
+
+
+@settings(deadline=None, max_examples=100)
+@given(left=samples, middle=samples, right=samples)
+def test_merge_chains_like_one_big_summary(left, middle, right):
+    pool = from_samples(left)
+    pool.merge(from_samples(middle))
+    pool.merge(from_samples(right))
+    oracle = from_samples(left + middle + right)
+    assert pool.as_dict() == oracle.as_dict()
+
+
+def test_merge_empty_sides_are_noops():
+    stats = from_samples([0.25, 0.5])
+    stats.merge(LatencyStats())
+    assert stats.samples_s == [0.25, 0.5]
+    empty = LatencyStats()
+    empty.merge(from_samples([1.0]))
+    assert empty.samples_s == [1.0]
+    assert empty.percentile_s(50) == 1.0
+
+
+def test_merge_does_not_mutate_the_other_side():
+    left = from_samples([3.0, 1.0])
+    right = from_samples([2.0])
+    left.merge(right)
+    assert right.samples_s == [2.0]
+    assert left._sorted_samples() == [1.0, 2.0, 3.0]

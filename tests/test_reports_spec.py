@@ -256,3 +256,68 @@ def test_chaos_scenario_file_parses_and_shrinks_for_smoke():
     # the CI chaos job actually injects something.
     assert smoke.faults.total_events == spec.faults.total_events
     assert smoke.faults.horizon <= 4
+
+
+# ---------------------------------------------------------------------------
+# [scenario.observability]
+# ---------------------------------------------------------------------------
+
+
+def test_observability_spec_defaults_and_round_trip():
+    from repro.reports import ObservabilitySpec
+
+    data = {
+        "name": "obs",
+        "graph": {"family": "gnp", "sizes": [40]},
+        "workload": {"kind": "uniform", "requests": 10},
+        "observability": {},
+    }
+    spec = ScenarioSpec.from_dict(data)
+    assert spec.observability == ObservabilitySpec()
+    assert spec.observability.trace and spec.observability.profile
+    assert spec.observability.capacity == 65536
+    again = ScenarioSpec.from_dict(spec.as_dict())
+    assert again == spec
+    # Non-default fields survive the round trip too.
+    data["observability"] = {"trace": False, "capacity": 128}
+    spec = ScenarioSpec.from_dict(data)
+    assert ScenarioSpec.from_dict(spec.as_dict()) == spec
+    assert spec.observability.capacity == 128
+
+
+def test_observability_requires_a_workload():
+    with pytest.raises(SpecError, match=r"\[observability\] table needs"):
+        ScenarioSpec.from_dict(
+            {
+                "name": "obs",
+                "graph": {"family": "gnp", "sizes": [40]},
+                "observability": {},
+            }
+        )
+
+
+def test_observability_validation():
+    base = {
+        "name": "obs",
+        "graph": {"family": "gnp", "sizes": [40]},
+        "workload": {"kind": "uniform", "requests": 10},
+    }
+    with pytest.raises(SpecError, match="capacity"):
+        ScenarioSpec.from_dict({**base, "observability": {"capacity": 0}})
+    with pytest.raises(SpecError, match="trace and/or profile"):
+        ScenarioSpec.from_dict(
+            {**base, "observability": {"trace": False, "profile": False}}
+        )
+    with pytest.raises(SpecError, match="unknown observability keys"):
+        ScenarioSpec.from_dict({**base, "observability": {"sampling": 0.5}})
+
+
+def test_observability_smoke_scenario_file_parses():
+    specs = load_scenario_file(SCENARIOS_DIR / "observability_smoke.toml")
+    assert [spec.name for spec in specs] == [
+        "obs-spanner3-zipf",
+        "obs-spannerk-uniform",
+    ]
+    for spec in specs:
+        assert spec.observability is not None
+        assert spec.observability.trace and spec.observability.profile
