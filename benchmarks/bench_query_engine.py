@@ -1,16 +1,23 @@
-"""Query-engine benchmark: cold vs. cached vs. batched materialization.
+"""Query-engine benchmark: cold vs. cached vs. batched vs. numpy kernels.
 
 The fast oracle backend (CSR storage + cross-query memoization + the batched
 materialization engine) promises identical answers and identical per-query
-probe accounting at a fraction of the wall-clock cost.  This benchmark times
-all three engines on the four fixture workloads, checks the equivalence while
-it is at it, and writes the measurements to ``BENCH_query_engine.json`` at
-the repository root — the first point of the perf trajectory that later
-scaling PRs extend.
+probe accounting at a fraction of the wall-clock cost, and the vectorized
+kernel layer (:mod:`repro.kernels`) promises the same again on top of the
+batched engine.  This benchmark times all engines on the four fixture
+workloads, checks the equivalence while it is at it, and writes the
+measurements to ``BENCH_query_engine.json`` at the repository root — the
+perf trajectory that later scaling PRs extend.
 
-Shape to check: the batched engine must be ≥5× faster than the cold
-per-query path on the dense (n=400, p=0.10) fixture, with byte-identical
-spanner edges and probe totals everywhere.
+Shapes to check on the dense (n=400, p=0.10) fixture:
+
+* batched must be ≥5× faster than the cold per-query path, and
+* the numpy kernels must be ≥5× faster than the batched pure-Python path,
+
+with byte-identical spanner edges and probe totals everywhere.  The three
+scalar engine rows are pinned to ``kernel="python"`` so they stay comparable
+across machines with and without numpy; the kernel row is skipped (not
+failed) when numpy is absent.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import time
 from pathlib import Path
 
 from repro import create_lca, format_table
+from repro.kernels import resolve_kernel
 from repro.spannerk import KSquaredSpannerLCA
 
 from bench_common import payload_header
@@ -33,16 +41,31 @@ RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
 #: override exists for pathologically noisy shared runners, not for local use.
 MIN_BATCHED_SPEEDUP = float(os.environ.get("BENCH_MIN_BATCHED_SPEEDUP", "5.0"))
 
+#: Acceptance floor for the vectorized-kernel speedup over the batched
+#: pure-Python engine (dense fixture, spanner3, CSR backend).  Measured
+#: ratios on the dense fixture are ~6-7x.
+MIN_KERNEL_SPEEDUP = float(os.environ.get("BENCH_MIN_KERNEL_SPEEDUP", "5.0"))
+
 MODES = ("cold", "cached", "batched")
+
+#: Whether the numpy kernel layer is importable in this environment.
+HAVE_NUMPY_KERNEL = resolve_kernel("auto") is not None
 
 
 def _time_modes(name, graph, backend, make_lca):
-    """Materialize with every engine; return (row dict, per-mode results)."""
+    """Materialize with every engine; return (row dict, per-mode results).
+
+    The three scalar engines run with the probe kernels pinned to "python"
+    (the default "auto" would silently vectorize them wherever numpy is
+    installed); a fourth "kernel" measurement reruns the batched engine
+    under ``kernel="numpy"`` when available and is held to the same
+    edges-and-probes equivalence key.
+    """
     host = graph.to_backend(backend)
     timings = {}
     reference = None
     for mode in MODES:
-        lca = make_lca(host)
+        lca = make_lca(host).set_kernel("python")
         start = time.perf_counter()
         materialized = lca.materialize(mode=mode)
         elapsed = time.perf_counter() - start
@@ -55,6 +78,22 @@ def _time_modes(name, graph, backend, make_lca):
         else:
             assert key == reference, (name, backend, mode, "equivalence broken")
         timings[mode] = {
+            "seconds": elapsed,
+            "spanner_edges": materialized.num_edges,
+            "probe_total": materialized.probe_stats.total,
+            "probe_max": materialized.probe_stats.max,
+        }
+    if HAVE_NUMPY_KERNEL:
+        lca = make_lca(host).set_kernel("numpy")
+        start = time.perf_counter()
+        materialized = lca.materialize(mode="batched")
+        elapsed = time.perf_counter() - start
+        key = (
+            frozenset(materialized.edges),
+            tuple(materialized.probe_stats.query_totals),
+        )
+        assert key == reference, (name, backend, "numpy-kernel", "equivalence broken")
+        timings["kernel"] = {
             "seconds": elapsed,
             "spanner_edges": materialized.num_edges,
             "probe_total": materialized.probe_stats.total,
@@ -77,6 +116,11 @@ def _time_modes(name, graph, backend, make_lca):
         "probe_total": timings["cold"]["probe_total"],
         "|H|": timings["cold"]["spanner_edges"],
     }
+    if "kernel" in timings:
+        row["kernel_s"] = round(timings["kernel"]["seconds"], 4)
+        row["speedup_kernel"] = round(
+            timings["batched"]["seconds"] / max(timings["kernel"]["seconds"], 1e-9), 2
+        )
     return row, timings
 
 
@@ -123,13 +167,16 @@ def test_query_engine_speedups(
             records.append({**row, "modes": timings})
 
     print_section(
-        "Query engines: cold vs. cached vs. batched (identical probes)",
+        "Query engines: cold vs. cached vs. batched vs. numpy kernels "
+        "(identical probes)",
         format_table(rows),
     )
 
     payload = {
         **payload_header("bench_query_engine"),
         "min_batched_speedup_required": MIN_BATCHED_SPEEDUP,
+        "min_kernel_speedup_required": MIN_KERNEL_SPEEDUP,
+        "numpy_kernel_available": HAVE_NUMPY_KERNEL,
         "workloads": records,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -145,3 +192,10 @@ def test_query_engine_speedups(
         f"{MIN_BATCHED_SPEEDUP}x faster than the cold per-query path on the "
         f"dense fixture, measured {headline[0]['speedup_batched']}x"
     )
+    if HAVE_NUMPY_KERNEL:
+        assert headline[0]["speedup_kernel"] >= MIN_KERNEL_SPEEDUP, (
+            "the numpy kernels must be at least "
+            f"{MIN_KERNEL_SPEEDUP}x faster than the batched pure-Python "
+            f"engine on the dense fixture, measured "
+            f"{headline[0]['speedup_kernel']}x"
+        )

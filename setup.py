@@ -23,6 +23,13 @@ setup(
     # CI exercises 3.10-3.12; keep the floor in lockstep so an install on an
     # untested interpreter fails loudly instead of at runtime.
     python_requires=">=3.10",
+    # The core library is dependency-free; numpy only unlocks the vectorized
+    # probe kernels (see docs/kernels.md).  Without it, kernel="numpy" fails
+    # with a one-line error pointing at this extra and everything else runs
+    # on the scalar paths.
+    extras_require={
+        "fast": ["numpy"],
+    },
     classifiers=[
         "Development Status :: 4 - Beta",
         "Intended Audience :: Science/Research",

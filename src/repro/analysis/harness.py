@@ -68,6 +68,7 @@ def evaluate_lca(
     executor: Optional[str] = None,
     workers: Optional[int] = None,
     mutations: Optional[Iterable] = None,
+    kernel: Optional[str] = None,
 ) -> EvaluationReport:
     """Materialize an LCA over every edge of its graph and verify the result.
 
@@ -99,8 +100,14 @@ def evaluate_lca(
         gets verified.  Epoch-based cache invalidation guarantees the
         result is bit-identical to evaluating a fresh LCA on the mutated
         edge set; the applied count lands in ``report.extras``.
+    kernel:
+        Optional probe-kernel selection ("auto", "python" or "numpy", see
+        :mod:`repro.kernels`) forwarded to the LCA.  Edges and probe
+        statistics are kernel-invariant; only wall-clock time changes.
     """
     graph = lca.graph
+    if kernel is not None:
+        lca.set_kernel(kernel)
     applied = lca.apply_mutations(mutations) if mutations is not None else 0
     if executor is not None:
         if mode != "batched":

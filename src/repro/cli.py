@@ -65,6 +65,7 @@ from .core.registry import available, create
 from .exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
 from .faults import FaultPlan, FaultPlanError
 from .graphs.io import read_edge_list, write_edge_list
+from .kernels import KERNELS, KernelUnavailableError
 from .lowerbound import run_distinguishing_experiment
 from .service import (
     DEGRADED_MODES,
@@ -143,7 +144,7 @@ def cmd_generate(args) -> int:
 
 def cmd_query(args) -> int:
     graph = _load_graph(args)
-    lca = create(args.algorithm, graph, seed=args.seed)
+    lca = _apply_kernel(create(args.algorithm, graph, seed=args.seed), args)
     # "batched" is a materialization engine; individual queries fall back to
     # the cached engine (same answers, same per-query probe accounting).
     lca.set_query_mode("cold" if args.query_mode == "cold" else "cached")
@@ -173,7 +174,7 @@ def _check_executor_mode(args) -> None:
 def cmd_materialize(args) -> int:
     _check_executor_mode(args)
     graph = _load_graph(args)
-    lca = create(args.algorithm, graph, seed=args.seed)
+    lca = _apply_kernel(create(args.algorithm, graph, seed=args.seed), args)
     if args.executor:
         spanner = lca.materialize(executor=args.executor, workers=args.workers)
     else:
@@ -200,7 +201,7 @@ def cmd_materialize(args) -> int:
 def cmd_evaluate(args) -> int:
     _check_executor_mode(args)
     graph = _load_graph(args)
-    lca = create(args.algorithm, graph, seed=args.seed)
+    lca = _apply_kernel(create(args.algorithm, graph, seed=args.seed), args)
     report = evaluate_lca(
         lca,
         sample_stretch_edges=args.stretch_sample,
@@ -303,10 +304,14 @@ def cmd_serve_bench(args) -> int:
         max_retries=args.max_retries,
         timeout_ticks=args.timeout_ticks,
         degraded_mode=args.degraded_mode,
+        kernel=args.kernel,
     )
-    engine = ServiceEngine(
-        graph, lambda g: create(args.algorithm, g, seed=args.seed), config
-    )
+    try:
+        engine = ServiceEngine(
+            graph, lambda g: create(args.algorithm, g, seed=args.seed), config
+        )
+    except KernelUnavailableError as exc:
+        raise SystemExit(f"serve-bench: {exc}")
     tracer = profiler = None
     if args.trace_out or args.trace_chrome:
         from .obs import SpanTracer
@@ -586,6 +591,30 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default=None,
+        help="probe-kernel implementation: 'python' (scalar loops), 'numpy' "
+        "(vectorized array kernels over CSR; requires numpy) or 'auto' "
+        "(numpy when available). Answers and probe accounting are identical "
+        "under every kernel; only wall-clock time changes. "
+        "Default: auto (also settable via REPRO_KERNEL)",
+    )
+
+
+def _apply_kernel(lca, args):
+    """Apply ``--kernel`` to an LCA, exiting with a one-line message when
+    the requested kernel cannot be loaded (numpy missing)."""
+    if getattr(args, "kernel", None) is None:
+        return lca
+    try:
+        return lca.set_kernel(args.kernel)
+    except KernelUnavailableError as exc:
+        raise SystemExit(f"{args.command}: {exc}")
+
+
 def _add_query_mode_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--query-mode",
@@ -626,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=10, help="query the first COUNT edges when --edge is absent"
     )
     _add_query_mode_option(query)
+    _add_kernel_option(query)
     query.set_defaults(handler=cmd_query)
 
     materialize = sub.add_parser(
@@ -639,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_mode_option(materialize)
     _add_executor_options(materialize)
+    _add_kernel_option(materialize)
     materialize.set_defaults(handler=cmd_materialize)
 
     evaluate = sub.add_parser("evaluate", help="materialize and verify an LCA")
@@ -652,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_mode_option(evaluate)
     _add_executor_options(evaluate)
+    _add_kernel_option(evaluate)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     sweep = sub.add_parser("sweep", help="size/probe scaling sweep")
@@ -791,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the unified metrics snapshot (service/cache/probe/"
         "executor/fault metrics under one naming scheme) to this JSON file",
     )
+    _add_kernel_option(serve)
     serve.set_defaults(handler=cmd_serve_bench)
 
     trace = sub.add_parser(

@@ -249,6 +249,24 @@ class OracleCache:
             self._trackers[-1].add(int(v))
         return self.graph.adjacency_row(v)
 
+    @property
+    def tracking(self) -> bool:
+        """Whether a :meth:`track` frame is currently open."""
+        return bool(self._trackers)
+
+    def note_read(self, vertices) -> None:
+        """Register vertices a batched kernel read outside the accessors.
+
+        Vectorized kernels read adjacency from an epoch-stamped array view
+        instead of :meth:`degree`/:meth:`neighbors`; this records the same
+        dependency set with the innermost tracker so memoized values built
+        over kernel reads still invalidate on exactly the scalar schedule.
+        """
+        if self._trackers:
+            tracker = self._trackers[-1]
+            for vertex in vertices:
+                tracker.add(int(vertex))
+
     # ------------------------------------------------------------------ #
     # Memo tables for derived per-vertex state
     # ------------------------------------------------------------------ #

@@ -34,6 +34,10 @@ from .oracle import AdjacencyListOracle, CachedOracle
 from .probes import ProbeCounter, ProbeSnapshot, ProbeStatistics
 from .seed import Seed, SeedLike
 from ..graphs.graph import Graph
+from ..kernels import check_kernel, resolve_kernel
+
+#: Sentinel marking a kernel selection that has not been resolved yet.
+_KERNEL_UNSET = object()
 
 Edge = Tuple[int, int]
 
@@ -67,6 +71,10 @@ class LCASpec:
     algorithm: str
     seed: int
     kwargs: Dict[str, object] = field(default_factory=dict)
+    #: Kernel selection ("python"/"numpy"/"auto"; ``None`` = auto).  Not a
+    #: constructor kwarg — workers apply it via :meth:`SpannerLCA.set_kernel`
+    #: so parallel rebuilds run the same engine as the coordinator.
+    kernel: Optional[str] = None
 
 
 @dataclass
@@ -142,6 +150,8 @@ class SpannerLCA(abc.ABC):
         self._cached_oracle: Optional[CachedOracle] = None
         self._query_mode = "cold"
         self._profiler = None
+        self._kernel_name: Optional[str] = None
+        self._kernel = _KERNEL_UNSET
         self.probe_stats = ProbeStatistics()
 
     # ------------------------------------------------------------------ #
@@ -222,6 +232,42 @@ class SpannerLCA(abc.ABC):
         self._query_mode = _check_mode(mode)
         return self
 
+    def set_kernel(self, kernel: Optional[str]) -> "SpannerLCA":
+        """Select the probe-kernel implementation for the cached engines.
+
+        ``"python"`` forces the scalar reference path, ``"numpy"`` the
+        vectorized kernels (raising
+        :class:`~repro.kernels.KernelUnavailableError` with a one-line
+        message when numpy is missing), and ``"auto"``/``None`` picks numpy
+        when importable.  Answers, per-query probe totals and per-kind probe
+        counts are identical under every kernel (pinned by the
+        kernel-equivalence tests); only wall-clock speed changes.  The cold
+        query mode always runs the scalar reference path.  Returns ``self``
+        for chaining.
+        """
+        if kernel is not None:
+            check_kernel(kernel)
+        self._kernel_name = kernel
+        self._kernel = _KERNEL_UNSET
+        resolved = self._resolve_kernel()
+        cached = self._cached_oracle
+        if cached is not None:
+            cached.kernel = resolved
+        for component in getattr(self, "components", ()):
+            component.set_kernel(kernel)
+        return self
+
+    @property
+    def kernel_name(self) -> str:
+        """The resolved kernel actually in use ("python" or "numpy")."""
+        kernel = self._resolve_kernel()
+        return "python" if kernel is None else kernel.name
+
+    def _resolve_kernel(self):
+        if self._kernel is _KERNEL_UNSET:
+            self._kernel = resolve_kernel(self._kernel_name)
+        return self._kernel
+
     def attach_profiler(self, profiler) -> "SpannerLCA":
         """Attach a :class:`repro.obs.profiler.ProbeProfiler` to this LCA.
 
@@ -244,6 +290,7 @@ class SpannerLCA(abc.ABC):
             return self._oracle
         if self._cached_oracle is None:
             self._cached_oracle = CachedOracle(self._graph, self._counter)
+            self._cached_oracle.kernel = self._resolve_kernel()
             if self._profiler is not None:
                 self._cached_oracle.profiler = self._profiler
                 self._cached_oracle.cache.profiler = self._profiler
@@ -285,7 +332,12 @@ class SpannerLCA(abc.ABC):
         params = getattr(self, "params", None)
         if params is not None:
             kwargs["params"] = params
-        return LCASpec(algorithm=self.name, seed=self._seed.value, kwargs=kwargs)
+        return LCASpec(
+            algorithm=self.name,
+            seed=self._seed.value,
+            kwargs=kwargs,
+            kernel=self._kernel_name,
+        )
 
     def query(self, u: int, v: int) -> bool:
         """Answer "is ``(u, v)`` in the spanner?" for an edge of ``G``."""
@@ -367,6 +419,7 @@ class SpannerLCA(abc.ABC):
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         tracer=None,
+        kernel: Optional[str] = None,
     ) -> MaterializedSpanner:
         """Query every edge (or the given subset) and collect the spanner.
 
@@ -394,7 +447,14 @@ class SpannerLCA(abc.ABC):
         ``tracer`` (a :class:`repro.obs.tracer.SpanTracer`, default off)
         wraps the run in a ``materialize`` span — observation only, answers
         and probe accounting are unchanged.
+
+        ``kernel`` selects the probe-kernel implementation for this and all
+        later queries (shorthand for :meth:`set_kernel`): "python", "numpy"
+        or "auto".  Edges and probe accounting are identical under every
+        kernel.
         """
+        if kernel is not None:
+            self.set_kernel(kernel)
         if executor is not None:
             if mode not in (None, "batched"):
                 raise ValueError(
@@ -428,16 +488,30 @@ class SpannerLCA(abc.ABC):
         result: MaterializedSpanner,
     ) -> None:
         """Run the in-process materialization engine for :meth:`materialize`."""
-        edge_iter = self._graph.edges() if edges is None else edges
         if mode == "batched":
+            if edges is None and self._kernel_materialize(result):
+                return
+            edge_iter = self._graph.edges() if edges is None else edges
             self._materialize_batched(edge_iter, result, validate=edges is not None)
             return
+        edge_iter = self._graph.edges() if edges is None else edges
         oracle = self._oracle_for(mode)
         for (u, v) in edge_iter:
             outcome = self._query_once(oracle, u, v)
             result.probe_stats.add(outcome.probe_total)
             if outcome.in_spanner:
                 result.edges.add(outcome.edge)
+
+    def _kernel_materialize(self, result: MaterializedSpanner) -> bool:
+        """Hook for algorithm-specific array-at-once batched materializers.
+
+        Called by :meth:`_materialize_edges` before the scalar batched loop
+        when materializing the *full* edge set.  Subclasses with a vectorized
+        whole-graph kernel (see ``ThreeSpannerLCA``) override this to fill
+        ``result`` with bit-identical edges and per-query probe totals and
+        return ``True``; the default ``False`` keeps the scalar engine.
+        """
+        return False
 
     def _materialize_batched(
         self, edge_iter: Iterable[Edge], result: MaterializedSpanner, validate: bool

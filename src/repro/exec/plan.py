@@ -199,10 +199,17 @@ def _resolve_graph(ref) -> Graph:
 def _lca_for(graph: Graph, spec: LCASpec) -> Tuple[SpannerLCA, SnapshotCursor]:
     """The worker's LCA for a spec, plus its incremental-export cursor."""
     lcas: Dict[tuple, Tuple[SpannerLCA, SnapshotCursor]] = _worker_slot()["lcas"]  # type: ignore[assignment]
-    key = (spec.algorithm, spec.seed, tuple(sorted(spec.kwargs.items())))
+    key = (
+        spec.algorithm,
+        spec.seed,
+        spec.kernel,
+        tuple(sorted(spec.kwargs.items())),
+    )
     entry = lcas.get(key)
     if entry is None:
         lca = create(spec.algorithm, graph, seed=spec.seed, **spec.kwargs)
+        if spec.kernel is not None:
+            lca.set_kernel(spec.kernel)
         entry = (lca, SnapshotCursor())
         lcas[key] = entry
     return entry

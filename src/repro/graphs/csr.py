@@ -119,6 +119,7 @@ class CSRGraph(Graph):
         "_delta_add",
         "_delta_removed",
         "_delta_entries",
+        "_survivors",
         "compact_threshold",
     )
 
@@ -287,6 +288,10 @@ class CSRGraph(Graph):
         self._delta_add: Dict[int, List[int]] = {}
         self._delta_removed: Dict[int, array] = {}
         self._delta_entries = 0
+        # Per-vertex survivor rows (base minus removals plus appends),
+        # computed once per epoch instead of per probe; a mutation of the
+        # vertex drops its entry, compaction drops the whole cache.
+        self._survivors: Dict[int, tuple] = {}
         self.compact_threshold = DEFAULT_COMPACT_THRESHOLD
 
     @property
@@ -320,6 +325,8 @@ class CSRGraph(Graph):
     def _invalidate_rows(self, u: Vertex, v: Vertex) -> None:
         self._rows.pop(u, None)
         self._rows.pop(v, None)
+        self._survivors.pop(u, None)
+        self._survivors.pop(v, None)
 
     def _maybe_compact(self) -> None:
         if self._delta_entries > self.compact_threshold:
@@ -357,6 +364,7 @@ class CSRGraph(Graph):
         self._delta_add = {}
         self._delta_removed = {}
         self._delta_entries = 0
+        self._survivors = {}
         return self
 
     # ------------------------------------------------------------------ #
@@ -380,13 +388,17 @@ class CSRGraph(Graph):
         added = self._delta_add.get(v)
         if removed is None and added is None:
             return base
-        if removed:
-            row = [w for w in base if not _in_sorted(removed, w)]
-        else:
-            row = list(base)
-        if added:
-            row.extend(added)
-        return row
+        survivors = self._survivors.get(v)
+        if survivors is None:
+            if removed:
+                row = [w for w in base if not _in_sorted(removed, w)]
+            else:
+                row = list(base)
+            if added:
+                row.extend(added)
+            survivors = tuple(row)
+            self._survivors[v] = survivors
+        return survivors
 
     def _validate(self) -> None:  # pragma: no cover - validation runs in __init__
         validate_adjacency(self.as_adjacency())

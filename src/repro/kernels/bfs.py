@@ -1,0 +1,201 @@
+"""Frontier-at-once BFS kernel for the D^k_L explorations of Section 4.
+
+The scalar exploration (:func:`repro.spannerk.bfs.explore`) dequeues one
+vertex at a time and probes its full neighbor row.  This kernel expands a
+whole BFS level — for *many sources at once* — with one CSR gather: neighbor
+candidates of the entire frontier are collected via ``indptr`` slicing, then
+deduplicated with a stable ``(pop, id)`` lexsort so discoveries land in the
+exact scalar order (lexicographically-first shortest paths, Section 4.3.1).
+
+Probe accounting replicates the scalar schedule precisely: every *expanded*
+pop charges degree 1 plus its full row of neighbor probes; once the discovery
+limit L is reached mid-level, the remaining pops of that level are never
+expanded (and charge nothing), matching the scalar truncation point.  Each
+source's probes are charged in one window wrapped in a ``"bfs"`` profiler
+frame, exactly one frame per exploration, in caller order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..spannerk.bfs import Exploration
+
+#: Cap on the ``sources × vertices`` visited bitmap; larger batches recurse
+#: into chunks so memory stays bounded on big graphs.
+_MAX_BITMAP_CELLS = 1 << 24
+
+#: Minimum ``sources × limit`` workload for the vectorized path.  Tiny
+#: explorations (narrow frontiers, small L) are faster through the scalar
+#: deque loop than through per-level array setup; falling back is always
+#: probe-exact, so this is purely a speed cutover.
+_MIN_BATCH_WORK = 256
+
+
+def explore_many(
+    kernel,
+    oracle,
+    sources: Sequence[int],
+    radius: int,
+    limit: int,
+    is_center: Callable[[int], bool],
+) -> Optional[List[Exploration]]:
+    """Run D^k_L explorations for a batch of sources, frontier-at-once.
+
+    Returns one :class:`Exploration` per source (same order), or ``None``
+    when the view is unavailable — callers fall back to the scalar loop.
+    """
+    if not sources:
+        return []
+    if len(sources) * max(limit, 1) < _MIN_BATCH_WORK:
+        return None
+    np = kernel.np
+    view = kernel.view(oracle.graph)
+    if view is None:
+        return None
+    n = view.n
+    batch = len(sources)
+    if batch * max(n, 1) > _MAX_BITMAP_CELLS and batch > 1:
+        step = max(1, _MAX_BITMAP_CELLS // max(n, 1))
+        out: List[Exploration] = []
+        for i in range(0, batch, step):
+            part = explore_many(
+                kernel, oracle, sources[i : i + step], radius, limit, is_center
+            )
+            if part is None:
+                return None
+            out.extend(part)
+        return out
+    try:
+        source_pos = [view.pos[int(s)] for s in sources]
+    except KeyError:
+        return None
+
+    ids = view.ids
+    deg = view.deg
+    indptr = view.indptr
+    nbr_id = view.nbr_id
+    nbr_pos = view.nbr_pos
+    visited = np.zeros((batch, n), dtype=bool)
+    explorations: List[Exploration] = []
+    probes_deg = [0] * batch
+    probes_nei = [0] * batch
+    touched: List[List[int]] = [[] for _ in range(batch)]
+    active: List[int] = []
+    for b, source in enumerate(sources):
+        source = int(source)
+        expl = Exploration(source=source, radius=radius, limit=limit)
+        expl.order.append(source)
+        expl.distance[source] = 0
+        expl.parent[source] = None
+        if is_center(source):
+            expl.first_center = source
+        explorations.append(expl)
+        visited[b, source_pos[b]] = True
+        if limit <= 1:
+            # The scalar loop trips its top-of-loop limit check immediately.
+            expl.truncated = True
+        else:
+            active.append(b)
+
+    frontier = {b: np.array([source_pos[b]], dtype=np.int64) for b in active}
+    for depth in range(radius):
+        if not frontier:
+            break
+        blist = sorted(frontier)
+        f_pos = np.concatenate([frontier[b] for b in blist])
+        f_bid = np.concatenate(
+            [np.full(len(frontier[b]), b, dtype=np.int64) for b in blist]
+        )
+        sizes = deg[f_pos]
+        total = int(sizes.sum())
+        if total:
+            csz = np.zeros(len(f_pos) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=csz[1:])
+            eid = np.repeat(np.arange(len(f_pos), dtype=np.int64), sizes)
+            idx = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(csz[:-1], sizes)
+                + np.repeat(indptr[f_pos], sizes)
+            )
+            cand_pos = nbr_pos[idx]
+            cand_id = nbr_id[idx]
+            # (pop, id) order = scalar discovery order within the level.
+            order = np.lexsort((cand_id, eid))
+            cand_pos = cand_pos[order]
+            cand_eid = eid[order]
+            cand_bid = f_bid[cand_eid]
+            fresh = ~visited[cand_bid, cand_pos]
+            cand_pos = cand_pos[fresh]
+            cand_eid = cand_eid[fresh]
+            cand_bid = cand_bid[fresh]
+            key = cand_bid * n + cand_pos
+            _, first = np.unique(key, return_index=True)
+            first = np.sort(first)
+            disc_pos = cand_pos[first]
+            disc_eid = cand_eid[first]
+            counts = np.bincount(disc_eid, minlength=len(f_pos))
+        else:
+            disc_pos = np.zeros(0, dtype=np.int64)
+            disc_eid = np.zeros(0, dtype=np.int64)
+            counts = np.zeros(len(f_pos), dtype=np.int64)
+
+        next_frontier = {}
+        row_lo = 0
+        disc_lo = 0
+        for b in blist:
+            f_count = len(frontier[b])
+            row_hi = row_lo + f_count
+            own_counts = counts[row_lo:row_hi]
+            disc_count = int(own_counts.sum())
+            own_pos = disc_pos[disc_lo : disc_lo + disc_count]
+            own_eid = disc_eid[disc_lo : disc_lo + disc_count]
+            disc_lo += disc_count
+            expl = explorations[b]
+            base = len(expl.order)
+            if disc_count:
+                cum = base + np.cumsum(own_counts)
+                if int(cum[-1]) >= limit:
+                    # First pop whose discoveries reach L: it and everything
+                    # before it expanded; later pops of the level never run.
+                    expanded = int(np.argmax(cum >= limit)) + 1
+                    accept = limit - base
+                    expl.truncated = True
+                else:
+                    expanded = f_count
+                    accept = disc_count
+            else:
+                expanded = f_count
+                accept = 0
+            probes_deg[b] += expanded
+            probes_nei[b] += int(sizes[row_lo : row_lo + expanded].sum())
+            touched[b].extend(ids[f_pos[row_lo : row_lo + expanded]].tolist())
+            if accept:
+                acc_pos = own_pos[:accept]
+                visited[b, acc_pos] = True
+                acc_ids = ids[acc_pos].tolist()
+                parent_ids = ids[f_pos[own_eid[:accept]]].tolist()
+                distance = depth + 1
+                for vertex, parent in zip(acc_ids, parent_ids):
+                    expl.order.append(vertex)
+                    expl.distance[vertex] = distance
+                    expl.parent[vertex] = parent
+                    if expl.first_center is None and is_center(vertex):
+                        expl.first_center = vertex
+                if not expl.truncated:
+                    next_frontier[b] = acc_pos
+            row_lo = row_hi
+        frontier = next_frontier
+
+    profiler = oracle.profiler
+    cache = getattr(oracle, "cache", None)
+    for b in range(batch):
+        if profiler is not None:
+            frame = profiler.begin_phase("bfs", oracle.counter)
+            oracle.charge(degree=probes_deg[b], neighbor=probes_nei[b])
+            profiler.end_phase(frame)
+        else:
+            oracle.charge(degree=probes_deg[b], neighbor=probes_nei[b])
+        if cache is not None and touched[b] and cache.tracking:
+            cache.note_read(touched[b])
+    return explorations

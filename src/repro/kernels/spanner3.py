@@ -1,0 +1,333 @@
+"""Vectorized spanner3 probe kernels: prefix-center tables and neighbor scans.
+
+The spanner3 scanning rules (H_high and H_super, Section 2) repeatedly walk a
+prefix of a vertex's neighbor row, subtracting prefix-center sets until a
+query-specific window is exhausted.  This module precomputes, per graph epoch
+and per center system, a closed form of every possible scan: for each CSR
+entry ``e = (w → x)`` it derives whether the scan at ``(w, x)`` keeps the
+edge, how many row steps it performs, and how many adjacency probes it
+charges — so both the per-query scan and the whole-graph batched
+materializer become O(1) table lookups with the exact scalar probe schedule.
+
+Derivation (matching ``_new_cluster_scan_fast``): for every element ``s`` of
+the prefix-center set S(x), its *first cover* ``fc`` is the smallest row
+offset ``j`` in the scan group (whole row for H_high, the block of ``e`` for
+H_super) with ``s ∈ S(row_w[j])``.  The scalar loop stops at
+``E = index`` when some ``s`` stays uncovered (``fc == index``), else at
+``E = max(fc) + 1``; it performs ``E - start`` row steps and
+``Σ_s (min(fc+1, E) - start)`` adjacency probes, and keeps the edge iff some
+element stayed uncovered (or the window was empty with S(x) nonempty).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PrefixTables:
+    """Election bitmap + prefix-center rows for one center system × epoch."""
+
+    __slots__ = ("elected", "pc_indptr", "pc_val")
+
+    def __init__(self, elected, pc_indptr, pc_val):
+        self.elected = elected
+        self.pc_indptr = pc_indptr
+        self.pc_val = pc_val
+
+
+class ScanTables:
+    """Closed-form scan outcome per CSR entry (one block variant)."""
+
+    __slots__ = ("kept", "steps", "adj")
+
+    def __init__(self, kept, steps, adj):
+        self.kept = kept
+        self.steps = steps
+        self.adj = adj
+
+
+def build_prefix_tables(np, view, system) -> PrefixTables:
+    """Evaluate the (pure, probe-free) center election over a whole view."""
+    elected = np.fromiter(
+        (bool(system.sampler.is_center(vertex)) for vertex in view.ids.tolist()),
+        dtype=bool,
+        count=view.n,
+    )
+    prefix = system.prefix
+    if view.nnz:
+        mask = (view.entry_j < prefix) & elected[view.nbr_pos]
+        sel = np.flatnonzero(mask)
+        pc_val = view.nbr_pos[sel]
+        counts = np.bincount(view.entry_src[sel], minlength=view.n)
+    else:
+        pc_val = np.zeros(0, dtype=np.int64)
+        counts = np.zeros(view.n, dtype=np.int64)
+    pc_indptr = np.zeros(view.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=pc_indptr[1:])
+    return PrefixTables(elected, pc_indptr, pc_val)
+
+
+def build_scan_tables(np, view, tables: PrefixTables, block: Optional[int]) -> ScanTables:
+    """Materialize kept/steps/adjacency for every entry's scan at once."""
+    nnz = view.nnz
+    kept = np.zeros(nnz, dtype=bool)
+    steps = np.zeros(nnz, dtype=np.int64)
+    adj = np.zeros(nnz, dtype=np.int64)
+    if not nnz:
+        return ScanTables(kept, steps, adj)
+    # One "element" per (entry e, center s ∈ S(x_e)) pair, laid out entry-major.
+    sizes = tables.pc_indptr[view.nbr_pos + 1] - tables.pc_indptr[view.nbr_pos]
+    offsets = np.zeros(nnz + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    if not total:
+        return ScanTables(kept, steps, adj)
+    eid = np.repeat(np.arange(nnz, dtype=np.int64), sizes)
+    inner = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], sizes)
+    cpos = tables.pc_val[tables.pc_indptr[view.nbr_pos[eid]] + inner]
+    src = view.entry_src[eid]
+    j_el = view.entry_j[eid]
+    # Group elements sharing (src, [block,] s): the group's minimum j is the
+    # first cover.  lexsort is stable, elements were built in entry (hence j)
+    # order, so the head of each group carries the minimum j.
+    if block is None:
+        order = np.lexsort((cpos, src))
+        k1, k2 = src[order], cpos[order]
+        head = np.empty(total, dtype=bool)
+        head[0] = True
+        head[1:] = (k1[1:] != k1[:-1]) | (k2[1:] != k2[:-1])
+    else:
+        blk = j_el // block
+        order = np.lexsort((cpos, blk, src))
+        k1, k2, k3 = src[order], blk[order], cpos[order]
+        head = np.empty(total, dtype=bool)
+        head[0] = True
+        head[1:] = (
+            (k1[1:] != k1[:-1]) | (k2[1:] != k2[:-1]) | (k3[1:] != k3[:-1])
+        )
+    head_idx = np.maximum.accumulate(
+        np.where(head, np.arange(total, dtype=np.int64), 0)
+    )
+    fc_sorted = j_el[order][head_idx]
+    fc = np.empty(total, dtype=np.int64)
+    fc[order] = fc_sorted
+    start_el = (
+        np.zeros(total, dtype=np.int64) if block is None else (j_el // block) * block
+    )
+    # Aggregate per entry; reduceat only over entries with S(x) nonempty.
+    nonempty = sizes > 0
+    off_ne = offsets[:-1][nonempty]
+    uncovered = fc == j_el
+    any_unc = np.logical_or.reduceat(uncovered, off_ne)
+    max_fc = np.maximum.reduceat(fc, off_ne)
+    scan_end_ne = np.where(any_unc, view.entry_j[nonempty], max_fc + 1)
+    scan_end = np.zeros(nnz, dtype=np.int64)
+    scan_end[nonempty] = scan_end_ne
+    contrib = np.minimum(fc + 1, scan_end[eid]) - start_el
+    adj[nonempty] = np.add.reduceat(contrib, off_ne)
+    start_ne = (
+        np.zeros(len(off_ne), dtype=np.int64)
+        if block is None
+        else (view.entry_j[nonempty] // block) * block
+    )
+    steps[nonempty] = scan_end_ne - start_ne
+    kept[nonempty] = any_unc
+    return ScanTables(kept, steps, adj)
+
+
+def scan_profile(kernel, oracle, system, w, x, index, block):
+    """Answer one ``_new_cluster_scan_fast`` call from the precomputed tables.
+
+    Charges the exact scalar schedule (degree 1 + neighbor ``scanned + steps``
+    + adjacency ``adj``) inside a ``"neighbor-scan"`` profiler frame and
+    registers the scalar path's read set with the memo tracker.  Returns the
+    kept verdict, or ``None`` when the view is unavailable (scalar fallback).
+    """
+    view = kernel.view(oracle.graph)
+    if view is None:
+        return None
+    pw = view.pos.get(w)
+    px = view.pos.get(x)
+    if pw is None or px is None:
+        return None
+    tables = kernel.scan_tables(view, system, block)
+    entry = int(view.indptr[pw]) + int(index)
+    kept = bool(tables.kept[entry])
+    steps = int(tables.steps[entry])
+    adj = int(tables.adj[entry])
+    scanned = min(int(view.deg[px]), system.prefix)
+    profiler = oracle.profiler
+    if profiler is not None:
+        frame = profiler.begin_phase("neighbor-scan", oracle.counter)
+        oracle.charge(degree=1, neighbor=scanned + steps, adjacency=adj)
+        profiler.end_phase(frame)
+    else:
+        oracle.charge(degree=1, neighbor=scanned + steps, adjacency=adj)
+    cache = oracle.cache
+    if cache.tracking:
+        touched = [int(x)]
+        if kept or steps > 0:
+            # The scalar scan reads w's row exactly when S(x) is nonempty.
+            start = 0 if block is None else (int(index) // block) * block
+            lo = int(view.indptr[pw])
+            touched.append(int(w))
+            touched.extend(view.nbr_id[lo + start : lo + start + steps].tolist())
+        cache.note_read(touched)
+    return kept
+
+
+def materialize_batched(lca, oracle, kernel, result) -> bool:
+    """Array-at-once batched materializer for the full spanner3 edge set.
+
+    Evaluates all four components (H_low, center edges, H_high, H_super) for
+    every edge of the graph in one pass of array arithmetic, replicating the
+    scalar short-circuit order so per-query probe totals, per-kind counts and
+    the ``"neighbor-scan"`` phase attribution are bit-identical.  Returns
+    ``True`` when handled; ``False`` falls back to the scalar engine.
+    """
+    from ..spanner3.components import (
+        CenterEdgeComponent,
+        HighDegreeComponent,
+        LowDegreeComponent,
+        SuperBlockComponent,
+    )
+
+    components = getattr(lca, "components", None)
+    if not components or len(components) != 4:
+        return False
+    low, center_edges, high, super_block = components
+    if not (
+        isinstance(low, LowDegreeComponent)
+        and isinstance(center_edges, CenterEdgeComponent)
+        and isinstance(high, HighDegreeComponent)
+        and isinstance(super_block, SuperBlockComponent)
+    ):
+        return False
+    hi_sys = high.centers
+    su_sys = super_block.centers
+    if not (
+        len(center_edges.systems) == 2
+        and center_edges.systems[0] is hi_sys
+        and center_edges.systems[1] is su_sys
+    ):
+        return False
+    view = kernel.view(oracle.graph)
+    if view is None:
+        return False
+    np = kernel.np
+    i8 = np.int64
+    params = high.params
+    t_low = low.threshold
+    block = super_block.threshold
+
+    if view.nnz:
+        e_fwd = np.flatnonzero(view.ids[view.entry_src] < view.nbr_id)
+    else:
+        e_fwd = np.zeros(0, dtype=i8)
+    if not len(e_fwd):
+        return True
+    hi_pt = kernel.prefix_tables(view, hi_sys)
+    su_pt = kernel.prefix_tables(view, su_sys)
+    hi_scan = kernel.scan_tables(view, hi_sys, None)
+    su_scan = kernel.scan_tables(view, su_sys, block)
+
+    e_rev = view.rev_entry[e_fwd]
+    up = view.entry_src[e_fwd]
+    vp = view.nbr_pos[e_fwd]
+    du = view.deg[up]
+    dv = view.deg[vp]
+    jf = view.entry_j[e_fwd]
+    jr = view.entry_j[e_rev]
+
+    # H_low: degree(u); degree(v) only when u is not low.
+    low_u = du <= t_low
+    c1 = low_u | (dv <= t_low)
+    deg_c1 = 1 + (~low_u).astype(i8)
+
+    # Center edges: four in_cluster_of probes with scalar short-circuiting.
+    act2 = ~c1
+    p_hi = hi_sys.prefix
+    p_su = su_sys.prefix
+    a1 = hi_pt.elected[vp]
+    r1 = a1 & (jf < p_hi)
+    a2 = hi_pt.elected[up]
+    r2 = a2 & (jr < p_hi)
+    a3 = su_pt.elected[vp]
+    r3 = a3 & (jf < p_su)
+    a4 = su_pt.elected[up]
+    r4 = a4 & (jr < p_su)
+    adj_c2 = a1.astype(i8) + (~r1) * (
+        a2.astype(i8) + (~r2) * (a3.astype(i8) + (~r3) * a4.astype(i8))
+    )
+    c2 = r1 | r2 | r3 | r4
+
+    # H_high: gate on is_high_degree(w), then the closed-form scan.
+    act3 = act2 & ~c2
+    gh_u = (du > params.low_threshold) & (du <= params.super_threshold)
+    gh_v = (dv > params.low_threshold) & (dv <= params.super_threshold)
+    ghu = gh_u.astype(i8)
+    ghv = gh_v.astype(i8)
+    scan_hi = np.minimum(view.deg, p_hi)
+    d1 = gh_u & hi_scan.kept[e_fwd]
+    n1 = (~d1).astype(i8)
+    c3 = d1 | (gh_v & hi_scan.kept[e_rev])
+    c3_deg = (1 + ghu) + n1 * (1 + ghv)
+    c3_nei = ghu * (scan_hi[vp] + hi_scan.steps[e_fwd]) + n1 * ghv * (
+        scan_hi[up] + hi_scan.steps[e_rev]
+    )
+    c3_adj = ghu * (1 + hi_scan.adj[e_fwd]) + n1 * ghv * (1 + hi_scan.adj[e_rev])
+
+    # H_super: ungated adjacency + block scan in both directions.
+    act4 = act3 & ~c3
+    scan_su = np.minimum(view.deg, p_su)
+    s1 = su_scan.kept[e_fwd]
+    ns = (~s1).astype(i8)
+    c4 = s1 | su_scan.kept[e_rev]
+    c4_deg = 1 + ns
+    c4_nei = (scan_su[vp] + su_scan.steps[e_fwd]) + ns * (
+        scan_su[up] + su_scan.steps[e_rev]
+    )
+    c4_adj = (1 + su_scan.adj[e_fwd]) + ns * (1 + su_scan.adj[e_rev])
+
+    a2m = act2.astype(i8)
+    a3m = act3.astype(i8)
+    a4m = act4.astype(i8)
+    deg_arr = deg_c1 + a3m * c3_deg + a4m * c4_deg
+    nei_arr = a3m * c3_nei + a4m * c4_nei
+    adj_arr = a2m * adj_c2 + a3m * c3_adj + a4m * c4_adj
+    answer = c1 | (act2 & c2) | (act3 & c3) | (act4 & c4)
+    totals = (deg_arr + nei_arr + adj_arr).tolist()
+
+    # Phase attribution: every scan invocation runs inside a "neighbor-scan"
+    # frame; its in-frame charges are degree 1, the full neighbor cost, and
+    # the scan's adjacency probes (the index probe stays outside).
+    inv1 = act3 & gh_u
+    inv2 = act3 & ~d1 & gh_v
+    inv3 = act4
+    inv4 = act4 & ~s1
+    calls = int(inv1.sum() + inv2.sum() + inv3.sum() + inv4.sum())
+    deg_total = int(deg_arr.sum())
+    nei_total = int(nei_arr.sum())
+    adj_total = int(adj_arr.sum())
+    phase_adj = int(
+        (inv1 * hi_scan.adj[e_fwd]).sum()
+        + (inv2 * hi_scan.adj[e_rev]).sum()
+        + (inv3 * su_scan.adj[e_fwd]).sum()
+        + (inv4 * su_scan.adj[e_rev]).sum()
+    )
+    profiler = oracle.profiler
+    if profiler is not None and calls:
+        oracle.charge(degree=deg_total - calls, adjacency=adj_total - phase_adj)
+        frame = profiler.begin_phase("neighbor-scan", oracle.counter, calls=calls)
+        oracle.charge(degree=calls, neighbor=nei_total, adjacency=phase_adj)
+        profiler.end_phase(frame)
+    else:
+        oracle.charge(degree=deg_total, neighbor=nei_total, adjacency=adj_total)
+
+    kept_idx = np.flatnonzero(answer)
+    kept_u = view.ids[up[kept_idx]].tolist()
+    kept_v = view.nbr_id[e_fwd[kept_idx]].tolist()
+    result.edges.update(zip(kept_u, kept_v))
+    result.probe_stats.query_totals.extend(totals)
+    lca.probe_stats.query_totals.extend(totals)
+    return True

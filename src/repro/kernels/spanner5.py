@@ -1,0 +1,121 @@
+"""Vectorized spanner5 kernels: cluster rows and bucket pair scans.
+
+Two hot loops of the H_bckt rules (Section 3) vectorize cleanly:
+
+* ``cluster_row`` — the members of a center's cluster are the neighbors that
+  list the center within their first ``Δ_med`` row entries; the reverse-entry
+  table of the view answers "where does the center sit in Γ(w)?" for a whole
+  row at once, replacing one ``index_row`` dictionary probe per member.
+* ``minimum_bucket_edge`` — the scalar rule walks the A × B bucket grid in
+  canonical-edge-id order, probing adjacency only when a pair improves the
+  running minimum.  The kernel ranks all pairs with one lexsort, simulates
+  the running minimum with a prefix cummin over *existing* pairs (a pair that
+  exists but does not improve the minimum never changes it, so unprobed
+  existing pairs are invisible to the schedule), and charges the exact probe
+  count in one bulk adjacency charge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.ids import canonical_edge_id
+
+#: Minimum ``|A| × |B|`` pair-grid size for the vectorized bucket scan.
+#: Below it the scalar double loop is faster than array setup; falling back
+#: is probe-exact, so the cutover is purely about speed.
+_MIN_GRID = 64
+
+
+def cluster_row(kernel, oracle, center: int, prefix: int) -> Optional[Tuple]:
+    """Compute the ``cluster-members`` memo value for ``center`` array-at-once.
+
+    Runs inside the memo's tracked compute: the row read goes through the
+    cache (registering the center) and the member test registers every row
+    vertex, exactly like the scalar ``index_row`` walk.  Returns the
+    ``(members, degree)`` memo value, or ``None`` for scalar fallback.
+    """
+    view = kernel.view(oracle.graph)
+    if view is None:
+        return None
+    position = view.pos.get(int(center))
+    if position is None:
+        return None
+    lo = int(view.indptr[position])
+    hi = int(view.indptr[position + 1])
+    row_ids = view.nbr_id[lo:hi]
+    in_cluster = view.rev_pos[lo:hi] < prefix
+    members = (int(center),) + tuple(row_ids[in_cluster].tolist())
+    cache = oracle.cache
+    cache.neighbors(center)
+    if cache.tracking:
+        cache.note_read(row_ids.tolist())
+    return (members, hi - lo)
+
+
+def minimum_bucket_edge(
+    kernel, oracle, bucket_a, bucket_b, med: int, degree
+) -> Optional[Tuple]:
+    """Vectorized ``_minimum_bucket_edge`` with the scalar probe schedule.
+
+    ``degree`` is the component's per-query memoizing degree closure; calling
+    it for every bucket member (in scalar evaluation order) reproduces the
+    scalar degree charges and memo-tracker reads.  Returns a 1-tuple holding
+    the minimum existing canonical edge id (or ``None``), or ``None`` itself
+    when the view is unavailable (scalar fallback).
+    """
+    if len(bucket_a) * len(bucket_b) < _MIN_GRID:
+        return None
+    np = kernel.np
+    view = kernel.view(oracle.graph)
+    if view is None:
+        return None
+    passing_a = [a for a in bucket_a if degree(a) >= med]
+    if not passing_a:
+        return (None,)
+    # The first passing a's inner loop evaluates degree(b) for every b.
+    passing_b = [b for b in bucket_b if degree(b) >= med]
+    if not passing_b:
+        return (None,)
+    a_arr = np.array(passing_a, dtype=np.int64)
+    b_arr = np.array(passing_b, dtype=np.int64)
+    try:
+        a_pos = np.array([view.pos[int(a)] for a in passing_a], dtype=np.int64)
+        b_pos = np.array([view.pos[int(b)] for b in passing_b], dtype=np.int64)
+    except KeyError:
+        return None
+    # Pairs in scalar order (a-major, b in bucket order), minus a == b.
+    pair_a = np.repeat(a_arr, len(b_arr))
+    pair_b = np.tile(b_arr, len(a_arr))
+    keep = pair_a != pair_b
+    arr_a = pair_a[keep]
+    arr_b = pair_b[keep]
+    # Edge existence: one searchsorted over the view's sorted arc keys.
+    exist = view.arcs_exist(
+        np.repeat(a_pos, len(b_arr))[keep], np.tile(b_pos, len(a_arr))[keep]
+    )
+    count = len(arr_a)
+    if not count:
+        return (None,)
+    low = np.minimum(arr_a, arr_b)
+    high = np.maximum(arr_a, arr_b)
+    order = np.lexsort((high, low))
+    head = np.empty(count, dtype=bool)
+    head[0] = True
+    head[1:] = (low[order][1:] != low[order][:-1]) | (
+        high[order][1:] != high[order][:-1]
+    )
+    rank = np.empty(count, dtype=np.int64)
+    rank[order] = np.cumsum(head) - 1
+    infinity = np.iinfo(np.int64).max
+    candidate = np.where(exist, rank, infinity)
+    running = np.empty(count, dtype=np.int64)
+    running[0] = infinity
+    if count > 1:
+        running[1:] = np.minimum.accumulate(candidate)[:-1]
+    probed = rank < running
+    oracle.charge(adjacency=int(probed.sum()))
+    if not exist.any():
+        return (None,)
+    winner = int(np.argmin(candidate))
+    return (canonical_edge_id(int(arr_a[winner]), int(arr_b[winner])),)

@@ -1,0 +1,160 @@
+"""Epoch-stamped numpy images of a graph's adjacency (the kernel substrate).
+
+A :class:`CSRView` freezes one mutation epoch of a graph into flat int64
+arrays — exactly the CSR layout, plus the derived per-entry tables the
+kernels index into (entry source, in-row offset, reverse-entry permutation).
+Views are read-only copies: mutating the graph never corrupts a view, and
+the epoch stamp lets the kernel engine drop a stale view on the next call.
+
+Building a view performs **zero probes**: it reads the adjacency structure
+directly, the same way :meth:`repro.graphs.graph.Graph.edges` does.  All
+probe charging stays in the kernels, which replicate the scalar schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.csr import CSRGraph
+
+
+class CSRView:
+    """Immutable numpy adjacency image of one graph epoch.
+
+    Vertices are addressed by *position* (row index); ``ids``/``pos`` map
+    between positions and vertex ids.  For every CSR entry ``e`` (one
+    directed arc), ``entry_src[e]`` is the source position, ``entry_j[e]``
+    the offset of ``e`` inside its row, ``nbr_id``/``nbr_pos`` the target.
+    ``rev_entry`` (lazy) maps each entry to its reverse arc's entry index.
+    """
+
+    __slots__ = (
+        "np",
+        "n",
+        "nnz",
+        "ids",
+        "pos",
+        "deg",
+        "indptr",
+        "nbr_id",
+        "nbr_pos",
+        "entry_src",
+        "entry_j",
+        "_rev_entry",
+        "_rev_pos",
+        "_adj_keys",
+    )
+
+    def __init__(self, np_module, ids, pos, deg, indptr, nbr_id, nbr_pos,
+                 entry_src, entry_j):
+        self.np = np_module
+        self.n = len(ids)
+        self.nnz = len(nbr_id)
+        self.ids = ids
+        self.pos = pos
+        self.deg = deg
+        self.indptr = indptr
+        self.nbr_id = nbr_id
+        self.nbr_pos = nbr_pos
+        self.entry_src = entry_src
+        self.entry_j = entry_j
+        self._rev_entry = None
+        self._rev_pos = None
+        self._adj_keys = None
+
+    @property
+    def rev_entry(self):
+        """Entry index of each entry's reverse arc (lazy double lexsort).
+
+        Sorting entries by ``(src, nbr)`` and by ``(nbr, src)`` yields the
+        same rank for an arc and its reverse (arcs are distinct, the graph is
+        simple), so matching the two orders position-by-position pairs every
+        arc with its reverse in two O(nnz log nnz) sorts.
+        """
+        if self._rev_entry is None:
+            np = self.np
+            by_src = np.lexsort((self.nbr_pos, self.entry_src))
+            by_nbr = np.lexsort((self.entry_src, self.nbr_pos))
+            rev = np.empty(self.nnz, dtype=np.int64)
+            rev[by_src] = by_nbr
+            self._rev_entry = rev
+        return self._rev_entry
+
+    @property
+    def adj_keys(self):
+        """Sorted ``src_pos * n + nbr_pos`` arc keys (lazy edge-existence set).
+
+        A batched membership test for arbitrary vertex-position pairs is one
+        ``searchsorted`` against this array (positions are < n, so the packed
+        key fits int64 for any graph this library can hold).
+        """
+        if self._adj_keys is None:
+            np = self.np
+            keys = self.entry_src * self.n + self.nbr_pos
+            self._adj_keys = np.sort(keys)
+        return self._adj_keys
+
+    def arcs_exist(self, src_pos, nbr_pos):
+        """Vectorized edge-existence test on position pairs (bool array)."""
+        np = self.np
+        keys = src_pos * self.n + nbr_pos
+        idx = np.searchsorted(self.adj_keys, keys)
+        idx = np.minimum(idx, max(self.nnz - 1, 0))
+        if not self.nnz:
+            return np.zeros(len(keys), dtype=bool)
+        return self.adj_keys[idx] == keys
+
+    @property
+    def rev_pos(self):
+        """In-row offset of each entry's reverse arc (= adjacency index)."""
+        if self._rev_pos is None:
+            self._rev_pos = self.rev_entry - self.indptr[self.nbr_pos]
+        return self._rev_pos
+
+
+def build_view(np_module, graph) -> Optional[CSRView]:
+    """Build a :class:`CSRView` of ``graph`` at its current epoch.
+
+    Compacted CSR graphs (including shared-memory exports) are converted
+    array-at-once from their flat buffers; every other backend (dict
+    adjacency, CSR with pending delta overlays) goes through the generic
+    ``vertices()``/``neighbors()`` walk.  Returns ``None`` when vertex ids
+    do not fit int64 — callers then fall back to the scalar path.
+    """
+    np = np_module
+    ids_list = list(graph.vertices())
+    n = len(ids_list)
+    try:
+        ids = np.array(ids_list, dtype=np.int64)
+        flat = (
+            isinstance(graph, CSRGraph)
+            and graph.delta_count == 0
+            and not isinstance(graph._indices, list)
+        )
+        if flat:
+            indptr = np.array(graph._indptr, dtype=np.int64)
+            nbr_id = np.array(graph._indices, dtype=np.int64)
+        else:
+            rows = [graph.neighbors(v) for v in ids_list]
+            counts = np.array([len(row) for row in rows], dtype=np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            total = int(indptr[-1]) if n else 0
+            nbr_id = np.fromiter(
+                (w for row in rows for w in row), dtype=np.int64, count=total
+            )
+    except OverflowError:
+        return None
+    pos = {vertex: index for index, vertex in enumerate(ids_list)}
+    deg = indptr[1:] - indptr[:-1]
+    nnz = int(indptr[-1]) if n else 0
+    if nnz:
+        order = np.argsort(ids, kind="stable")
+        nbr_pos = order[np.searchsorted(ids[order], nbr_id)]
+        entry_src = np.repeat(np.arange(n, dtype=np.int64), deg)
+        entry_j = np.arange(nnz, dtype=np.int64) - indptr[entry_src]
+    else:
+        nbr_pos = np.zeros(0, dtype=np.int64)
+        entry_src = np.zeros(0, dtype=np.int64)
+        entry_j = np.zeros(0, dtype=np.int64)
+    return CSRView(np, ids, pos, deg, indptr, nbr_id, nbr_pos, entry_src, entry_j)

@@ -65,7 +65,7 @@ class ProbeProfiler:
         #: Monotone count of stale memo entries discarded by the epoch check
         #: (also read mid-call to classify the miss that follows one).
         self.invalidations = 0
-        # Open phase frames: [label, counter, before-snapshot, children-delta].
+        # Open frames: [label, counter, before-snapshot, children-delta, calls].
         self._frames: List[list] = []
 
     # -- phase attribution -------------------------------------------------
@@ -77,9 +77,15 @@ class ProbeProfiler:
         kinds["adjacency"] += delta.adjacency
         self.phase_calls[label] = self.phase_calls.get(label, 0) + calls
 
-    def begin_phase(self, label: str, counter) -> list:
-        """Open a phase frame; pair with :meth:`end_phase` on every exit path."""
-        frame = [label, counter, counter.snapshot(), ProbeSnapshot()]
+    def begin_phase(self, label: str, counter, calls: int = 1) -> list:
+        """Open a phase frame; pair with :meth:`end_phase` on every exit path.
+
+        ``calls`` sets how many scalar phase entries the frame stands for —
+        a batched kernel that evaluates N scalar scans inside one window
+        passes ``calls=N`` so the per-phase call counts stay identical to
+        the scalar engine's.
+        """
+        frame = [label, counter, counter.snapshot(), ProbeSnapshot(), calls]
         self._frames.append(frame)
         return frame
 
@@ -90,10 +96,10 @@ class ProbeProfiler:
         explorations) subtract their full window from the enclosing frame,
         so phase totals are flame-style self times and sum without overlap.
         """
-        label, counter, before, children = frame
+        label, counter, before, children, calls = frame
         self._frames.pop()
         delta = counter.snapshot() - before
-        self.add_phase(label, delta - children)
+        self.add_phase(label, delta - children, calls=calls)
         if self._frames:
             parent = self._frames[-1]
             parent[3] = parent[3] + delta

@@ -38,6 +38,7 @@ def _new_cluster_scan_fast(
     x: int,
     index: int,
     start: int,
+    block: Optional[int] = None,
 ) -> bool:
     """The memoized new-cluster scan shared by H_high and H_super.
 
@@ -49,7 +50,17 @@ def _new_cluster_scan_fast(
     center (every remaining vertex is an elected center, so the cold
     ``in_cluster_of`` filter always spends its ``Adjacency`` probe).  The
     filter itself is a set difference against the memoized ``S(neighbor)``.
+
+    ``block`` names the scan-window variant for the vectorized kernel
+    (``None`` = whole-row H_high windows, else the H_super block size with
+    ``start == (index // block) * block``); when a kernel is attached the
+    answer and the exact charge schedule come from its precomputed tables.
     """
+    kern = getattr(oracle, "kernel", None)
+    if kern is not None:
+        verdict = kern.scan_profile(oracle, centers, w, x, index, block)
+        if verdict is not None:
+            return verdict
     # Probe attribution: the whole scan window is the "neighbor-scan" phase.
     profiler = getattr(oracle, "profiler", None)
     frame = (
@@ -180,7 +191,9 @@ class HighDegreeComponent(SpannerLCA):
         index = oracle.adjacency(w, x)
         if index is None:
             return False
-        return _new_cluster_scan_fast(oracle, self.centers, w, x, index, 0)
+        return _new_cluster_scan_fast(
+            oracle, self.centers, w, x, index, 0, block=None
+        )
 
     def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:
         return self._kept_by_scan(oracle, u, v) or self._kept_by_scan(oracle, v, u)
@@ -268,7 +281,7 @@ class SuperBlockComponent(SpannerLCA):
             return False
         block_start = (index // self.threshold) * self.threshold
         return _new_cluster_scan_fast(
-            oracle, self.centers, w, x, index, block_start
+            oracle, self.centers, w, x, index, block_start, block=self.threshold
         )
 
     def _decide(self, oracle: AdjacencyListOracle, u: int, v: int) -> bool:

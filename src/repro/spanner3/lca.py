@@ -80,6 +80,21 @@ class ThreeSpannerLCA(CombinedLCA):
     def stretch_bound(self) -> Optional[int]:
         return 3
 
+    def _kernel_materialize(self, result) -> bool:
+        """Array-at-once batched materialization via the numpy kernel layer.
+
+        Evaluates all four components for every edge in one pass of array
+        arithmetic (see :mod:`repro.kernels.spanner3`); edges, per-query
+        probe totals, per-kind counts and phase attribution are bit-identical
+        to the scalar batched engine.  Falls back (``False``) when no kernel
+        is selected or the view cannot represent the graph.
+        """
+        oracle = self._oracle_for("cached")
+        kern = oracle.kernel
+        if kern is None:
+            return False
+        return kern.materialize_spanner3(self, oracle, result)
+
 
 @register("spanner3")
 def _make_three_spanner(graph: Graph, seed: SeedLike, **kwargs) -> ThreeSpannerLCA:

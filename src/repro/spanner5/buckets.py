@@ -133,6 +133,11 @@ class DegreeBoundedCenterSystem:
         if oracle.supports_memo:
 
             def compute():
+                kern = getattr(oracle, "kernel", None)
+                if kern is not None:
+                    value = kern.cluster_row(oracle, center, self.prefix)
+                    if value is not None:
+                        return value
                 cache = oracle.cache
                 row = cache.neighbors(center)
                 members = [center]
@@ -266,6 +271,11 @@ class BucketComponent(SpannerLCA):
         precondition ``E(V[Δ_med, n), V[Δ_med, n))`` of the construction).
         """
         med = self.params.med_threshold
+        kern = getattr(oracle, "kernel", None)
+        if kern is not None:
+            value = kern.minimum_bucket_edge(oracle, bucket_a, bucket_b, med, degree)
+            if value is not None:
+                return value[0]
         best: Optional[Tuple[int, int]] = None
         for a in bucket_a:
             if degree(a) < med:

@@ -1,0 +1,259 @@
+"""Vectorized probe kernels (repro.kernels): selection, fallback, equivalence.
+
+The kernel layer promises *observational equivalence* with the scalar query
+engines: identical spanner edge sets, identical per-query probe totals and
+identical per-kind probe counts, with numpy strictly a wall-clock
+optimization.  These tests pin the selection/fallback machinery (including
+the one-line error when ``kernel="numpy"`` is requested without numpy) and
+the equivalence promise for all three paper constructions across both graph
+backends and across mutation epochs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kernels as kernels
+from repro import graphs
+from repro.analysis import evaluate_lca
+from repro.cli import main as cli_main
+from repro.core.registry import create
+from repro.kernels import ENV_KERNEL, KERNELS, KernelUnavailableError, resolve_kernel
+from repro.spannerk import KSquaredParams, KSquaredSpannerLCA
+
+
+def _spanner3(graph):
+    return create("spanner3", graph, seed=5, hitting_constant=1.0)
+
+
+def _spanner5(graph):
+    return create("spanner5", graph, seed=5, hitting_constant=1.0)
+
+
+def _spannerk(graph):
+    params = KSquaredParams(
+        num_vertices=graph.num_vertices,
+        stretch_parameter=2,
+        exploration_budget=6,
+        center_probability=0.3,
+        mark_probability=0.25,
+        rank_quota=20,
+        independence=12,
+    )
+    return KSquaredSpannerLCA(graph, seed=7, params=params)
+
+
+CASES = {
+    "spanner3": (_spanner3, lambda: graphs.gnp_graph(70, 0.25, seed=11)),
+    "spanner5": (
+        _spanner5,
+        lambda: graphs.dense_cluster_graph(80, 10, inter_probability=0.05, seed=5),
+    ),
+    "spannerk": (_spannerk, lambda: graphs.bounded_degree_expanderish(80, d=4, seed=3)),
+}
+
+
+@pytest.fixture
+def force_kernel_paths(monkeypatch):
+    """Drop the minimum-workload thresholds so tiny test graphs hit numpy.
+
+    The kernels fall back to the scalar path (probe-exactly) below a
+    sources×limit / grid-size floor; fixtures here are far below it, so the
+    equivalence tests would silently compare scalar against scalar without
+    this.
+    """
+    pytest.importorskip("numpy")
+    from repro.kernels import bfs as kernel_bfs
+    from repro.kernels import spanner5 as kernel_spanner5
+    from repro.kernels.engine import NumpyKernel
+
+    monkeypatch.setattr(kernel_bfs, "_MIN_BATCH_WORK", 0)
+    monkeypatch.setattr(kernel_spanner5, "_MIN_GRID", 0)
+    monkeypatch.setattr(NumpyKernel, "min_explore_work", 0)
+
+
+def _fingerprint(lca, materialized):
+    counter = lca.probe_counter.snapshot()
+    return (
+        frozenset(materialized.edges),
+        tuple(materialized.probe_stats.query_totals),
+        (counter.degree, counter.neighbor, counter.adjacency),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Selection and fallback
+# --------------------------------------------------------------------------- #
+
+
+def test_resolve_python_is_scalar_path(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    assert resolve_kernel("python") is None
+
+
+def test_resolve_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown kernel"):
+        resolve_kernel("cython")
+
+
+def test_resolve_numpy_without_numpy_is_one_line_error(monkeypatch):
+    monkeypatch.setattr(kernels, "_numpy_or_none", lambda: None)
+    with pytest.raises(KernelUnavailableError) as excinfo:
+        resolve_kernel("numpy")
+    message = str(excinfo.value)
+    assert "\n" not in message
+    assert "pip install repro-spanner-lca[fast]" in message
+
+
+def test_auto_without_numpy_falls_back_to_scalar(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    monkeypatch.setattr(kernels, "_numpy_or_none", lambda: None)
+    assert resolve_kernel("auto") is None
+    assert resolve_kernel(None) is None
+
+
+def test_auto_with_numpy_picks_the_vectorized_kernel(monkeypatch):
+    pytest.importorskip("numpy")
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    kernel = resolve_kernel("auto")
+    assert kernel is not None and kernel.name == "numpy"
+
+
+def test_env_var_overrides_auto(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "python")
+    assert resolve_kernel(None) is None
+    assert resolve_kernel("auto") is None
+    # An explicit selection always wins over the environment.
+    pytest.importorskip("numpy")
+    assert resolve_kernel("numpy") is not None
+
+
+def test_invalid_env_var_fails_loudly(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "fortran")
+    with pytest.raises(KernelUnavailableError, match="REPRO_KERNEL"):
+        resolve_kernel(None)
+
+
+def test_set_kernel_validates_and_chains():
+    graph = graphs.gnp_graph(30, 0.2, seed=1)
+    lca = _spanner3(graph)
+    assert lca.set_kernel("python") is lca
+    assert lca.kernel_name == "python"
+    with pytest.raises(ValueError, match="unknown kernel"):
+        lca.set_kernel("cython")
+
+
+def test_set_kernel_numpy_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(kernels, "_numpy_or_none", lambda: None)
+    lca = _spanner3(graphs.gnp_graph(30, 0.2, seed=1))
+    with pytest.raises(KernelUnavailableError):
+        lca.set_kernel("numpy")
+
+
+def test_cli_kernel_error_is_one_line_systemexit(monkeypatch, tmp_path):
+    monkeypatch.setattr(kernels, "_numpy_or_none", lambda: None)
+    path = tmp_path / "g.txt"
+    graphs.write_edge_list(graphs.gnp_graph(30, 0.2, seed=1), path)
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["materialize", "--graph", str(path), "--kernel", "numpy"])
+    message = str(excinfo.value)
+    assert message.startswith("materialize:") and "\n" not in message
+
+
+# --------------------------------------------------------------------------- #
+# Equivalence: scalar vs. vectorized
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", ["dict", "csr"])
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_identical_edges_and_probes_across_kernels(name, backend, force_kernel_paths):
+    """Same seeds ⇒ same spanner, probe totals and per-kind counts."""
+    factory, make_graph = CASES[name]
+
+    def run(kernel):
+        graph = make_graph().to_backend(backend)
+        lca = factory(graph).set_kernel(kernel)
+        assert lca.kernel_name == kernel
+        return _fingerprint(lca, lca.materialize(mode="batched"))
+
+    assert run("python") == run("numpy")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_kernel_equivalence_survives_mutation_epochs(name, force_kernel_paths):
+    """Post-mutation epochs re-run through the kernels bit-identically."""
+    factory, make_graph = CASES[name]
+
+    def run(kernel):
+        graph = make_graph().to_backend("csr")
+        lca = factory(graph).set_kernel(kernel)
+        edges = sorted(graph.edges())
+        fingerprints = [_fingerprint(lca, lca.materialize(mode="batched"))]
+        # Epoch 1: drop a few edges; epoch 2: add one back plus a fresh edge.
+        victims = edges[:: max(1, len(edges) // 3)][:3]
+        for (u, v) in victims:
+            graph.remove_edge(u, v)
+        fingerprints.append(_fingerprint(lca, lca.materialize(mode="batched")))
+        graph.add_edge(*victims[0])
+        fingerprints.append(_fingerprint(lca, lca.materialize(mode="batched")))
+        return fingerprints
+
+    assert run("python") == run("numpy")
+
+
+def test_evaluate_lca_kernel_parameter_is_probe_invariant(force_kernel_paths):
+    graph = graphs.gnp_graph(60, 0.2, seed=9).to_backend("csr")
+    scalar = evaluate_lca(_spanner3(graph), kernel="python")
+    graph2 = graphs.gnp_graph(60, 0.2, seed=9).to_backend("csr")
+    vectorized = evaluate_lca(_spanner3(graph2), kernel="numpy")
+    assert scalar.num_spanner_edges == vectorized.num_spanner_edges
+    assert scalar.probe_max == vectorized.probe_max
+    assert scalar.probe_mean == vectorized.probe_mean
+
+
+def test_cold_queries_stay_scalar_and_identical(force_kernel_paths):
+    """The cold engine is the reference path; kernels must not touch it."""
+
+    def run(kernel):
+        graph = graphs.gnp_graph(50, 0.2, seed=3).to_backend("csr")
+        lca = _spanner3(graph).set_kernel(kernel)
+        lca.set_query_mode("cold")
+        outcomes = [lca.query_with_stats(u, v) for (u, v) in sorted(graph.edges())[:40]]
+        return [(o.in_spanner, o.probe_total) for o in outcomes]
+
+    assert run("python") == run("numpy")
+
+
+def test_executor_materialization_carries_the_kernel(force_kernel_paths):
+    """Worker rebuilds honor LCASpec.kernel; results match the scalar path."""
+
+    def run(kernel):
+        graph = graphs.gnp_graph(60, 0.2, seed=9).to_backend("csr")
+        lca = _spanner3(graph).set_kernel(kernel)
+        materialized = lca.materialize(executor="thread", workers=2)
+        return frozenset(materialized.edges), tuple(
+            materialized.probe_stats.query_totals
+        )
+
+    assert run("python") == run("numpy")
+
+
+def test_service_engine_kernel_config_is_probe_invariant(force_kernel_paths):
+    from repro.service import ServiceConfig, ServiceEngine, make_workload
+
+    def run(kernel):
+        graph = graphs.gnp_graph(60, 0.2, seed=9).to_backend("csr")
+        config = ServiceConfig(num_shards=2, batch_size=8, kernel=kernel)
+        workload = make_workload("uniform", graph, num_requests=200, seed=1)
+        report = ServiceEngine(graph, _spanner3, config).run(workload)
+        return report.served, report.in_spanner, report.probe_stats.total
+
+    assert run("python") == run("numpy")
+
+
+def test_service_config_rejects_unknown_kernel():
+    from repro.service import ServiceConfig
+
+    with pytest.raises(ValueError, match="unknown kernel"):
+        ServiceConfig(kernel="cython")

@@ -1,0 +1,88 @@
+"""Profiler phase attribution under the vectorized kernels.
+
+The :class:`~repro.obs.profiler.ProbeProfiler` attributes probes to
+algorithmic phases (``bfs``, ``voronoi``, ``neighbor-scan``).  The batched
+numpy kernels replay those phase boundaries in bulk — one frame covering many
+scalar-equivalent calls, with the call count carried explicitly — so the
+attribution a profiler reports must be *identical* to the scalar path: same
+per-phase probe totals, same per-kind splits, same call counts.  That parity
+is what keeps flame-style probe attribution trustworthy regardless of which
+kernel produced the numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro import graphs
+from repro.core.registry import create
+from repro.obs import ProbeProfiler
+from repro.spannerk import KSquaredParams, KSquaredSpannerLCA
+
+
+@pytest.fixture(autouse=True)
+def force_kernel_paths(monkeypatch):
+    from repro.kernels import bfs as kernel_bfs
+    from repro.kernels import spanner5 as kernel_spanner5
+    from repro.kernels.engine import NumpyKernel
+
+    monkeypatch.setattr(kernel_bfs, "_MIN_BATCH_WORK", 0)
+    monkeypatch.setattr(kernel_spanner5, "_MIN_GRID", 0)
+    monkeypatch.setattr(NumpyKernel, "min_explore_work", 0)
+
+
+def _profile(make_lca, kernel):
+    lca = make_lca().set_kernel(kernel)
+    profiler = ProbeProfiler()
+    lca.attach_profiler(profiler)
+    lca.materialize(mode="batched")
+    payload = profiler.as_dict()
+    return payload["phases"], dict(profiler.phase_calls)
+
+
+def test_spanner3_neighbor_scan_attribution_matches_scalar():
+    def make_lca():
+        graph = graphs.gnp_graph(70, 0.25, seed=11).to_backend("csr")
+        return create("spanner3", graph, seed=5, hitting_constant=1.0)
+
+    scalar_phases, scalar_calls = _profile(make_lca, "python")
+    numpy_phases, numpy_calls = _profile(make_lca, "numpy")
+    assert scalar_phases == numpy_phases
+    assert scalar_calls == numpy_calls
+    assert scalar_phases.get("neighbor-scan", {}).get("total", 0) > 0
+
+
+def test_spannerk_bfs_and_voronoi_attribution_matches_scalar():
+    def make_lca():
+        graph = graphs.bounded_degree_expanderish(80, d=4, seed=3).to_backend("csr")
+        params = KSquaredParams(
+            num_vertices=graph.num_vertices,
+            stretch_parameter=2,
+            exploration_budget=6,
+            center_probability=0.3,
+            mark_probability=0.25,
+            rank_quota=20,
+            independence=12,
+        )
+        return KSquaredSpannerLCA(graph, seed=7, params=params)
+
+    scalar_phases, scalar_calls = _profile(make_lca, "python")
+    numpy_phases, numpy_calls = _profile(make_lca, "numpy")
+    assert scalar_phases == numpy_phases
+    assert scalar_calls == numpy_calls
+    assert scalar_phases.get("bfs", {}).get("total", 0) > 0
+
+
+def test_spanner5_attribution_matches_scalar():
+    def make_lca():
+        graph = graphs.dense_cluster_graph(
+            80, 10, inter_probability=0.05, seed=5
+        ).to_backend("csr")
+        return create("spanner5", graph, seed=5, hitting_constant=1.0)
+
+    scalar_phases, scalar_calls = _profile(make_lca, "python")
+    numpy_phases, numpy_calls = _profile(make_lca, "numpy")
+    assert scalar_phases == numpy_phases
+    assert scalar_calls == numpy_calls
