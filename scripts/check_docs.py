@@ -1,15 +1,12 @@
 #!/usr/bin/env python3
 """Docstring-coverage gate for the public surface (CI: the docs job).
 
-Two checks, both fatal on failure:
-
-1. **Module docstrings** — every module under ``src/repro`` (including every
-   package ``__init__.py``) must open with a docstring.  Checked with
-   :mod:`ast`, so nothing is imported and side effects cannot hide a miss.
-2. **Public entry points** — the load-bearing classes/functions a new user
-   meets first (the quickstart API, the CLI, the planes' front doors) must
-   each carry a docstring.  Checked by importing :mod:`repro`, so the list
-   below breaks loudly if an entry point is renamed.
+Thin shim over the lint framework's DOC001 rule
+(:mod:`repro.lint.rules.docs`), kept so existing CI wiring and muscle
+memory (``python scripts/check_docs.py``) keep working.  The checks
+themselves — module docstrings everywhere under ``src/repro``, docstrings
+on every public entry point — live in the rule; ``repro lint`` runs the
+same code over the whole tree.
 
 Run from the repository root::
 
@@ -18,76 +15,25 @@ Run from the repository root::
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 
-#: Dotted names of the top public entry points (module:attribute).
-ENTRY_POINTS = [
-    "repro.graphs.graph:Graph",
-    "repro.graphs.csr:CSRGraph",
-    "repro.graphs.generators:build_family",
-    "repro.core.lca:SpannerLCA",
-    "repro.core.lca:SpannerLCA.materialize",
-    "repro.core.oracle:CachedOracle",
-    "repro.core.registry:create",
-    "repro.analysis.harness:evaluate_lca",
-    "repro.service.engine:ServiceEngine",
-    "repro.service.workload:make_workload",
-    "repro.faults.plan:FaultPlan",
-    "repro.faults.plan:FaultPlan.generate",
-    "repro.faults.injector:FaultInjector",
-    "repro.exec.backends:call_with_retries",
-    "repro.obs.tracer:SpanTracer",
-    "repro.obs.metrics:MetricsRegistry",
-    "repro.obs.metrics:collect_run_metrics",
-    "repro.obs.profiler:ProbeProfiler",
-    "repro.obs.export:write_trace_jsonl",
-    "repro.obs.export:chrome_trace",
-    "repro.core.lca:SpannerLCA.attach_profiler",
-    "repro.reports.spec:ScenarioSpec",
-    "repro.reports.runner:run_scenario",
-    "repro.reports.render:render_report",
-    "repro.cli:build_parser",
-]
-
-
-def module_docstring_failures() -> list:
-    failures = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        relative = path.relative_to(REPO_ROOT)
-        if any(part.startswith("_") and part != "__init__.py" for part in relative.parts):
-            continue
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(relative))
-        if ast.get_docstring(tree) is None:
-            failures.append(f"{relative}: missing module docstring")
-    return failures
-
-
-def entry_point_failures() -> list:
-    import importlib
-
-    failures = []
-    for dotted in ENTRY_POINTS:
-        module_name, _, attribute_path = dotted.partition(":")
-        try:
-            target = importlib.import_module(module_name)
-            for attribute in attribute_path.split("."):
-                target = getattr(target, attribute)
-        except (ImportError, AttributeError) as exc:
-            failures.append(f"{dotted}: cannot resolve entry point ({exc})")
-            continue
-        if not (getattr(target, "__doc__", None) or "").strip():
-            failures.append(f"{dotted}: public entry point has no docstring")
-    return failures
-
 
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    failures = module_docstring_failures() + entry_point_failures()
+    from repro.lint import run_lint
+    from repro.lint.rules.docs import ENTRY_POINTS, entry_point_failures
+
+    report = run_lint(root=REPO_ROOT, paths=[SRC_ROOT])
+    failures = [
+        finding.render()
+        for finding in report.findings
+        if finding.code == "DOC001" and finding.message == "module has no docstring"
+    ]
+    failures.extend(entry_point_failures())
     if failures:
         print(f"check_docs: {len(failures)} failure(s)")
         for failure in failures:

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Markdown link checker for the docs tree (CI: the docs job).
 
-Walks the given Markdown files (default: ``README.md``, ``docs/``,
-``examples/README.md``, ``scenarios``-adjacent docs) and verifies that every
+Walks the given Markdown files (default: ``README.md``, ``ROADMAP.md``,
+``CHANGES.md``, ``docs/``, ``examples/README.md``) and verifies that every
 *relative* link and image target resolves to an existing file, with any
 ``#fragment`` stripped.  External links (``http(s)://``, ``mailto:``) and
 pure in-page anchors are skipped — this gate catches the common failure mode
@@ -26,7 +26,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Inline Markdown links/images: [text](target) / ![alt](target).
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
-DEFAULT_TARGETS = ["README.md", "docs", "examples/README.md"]
+DEFAULT_TARGETS = [
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs",
+    "examples/README.md",
+]
 
 
 def markdown_files(arguments: list) -> list:

@@ -3,9 +3,10 @@
 ``pip install -e .`` makes the library importable without PYTHONPATH tricks
 and installs the ``repro`` command, so CLI workflows read
 ``repro serve-bench ...`` instead of ``python -m repro.cli serve-bench ...``.
-Kept as a plain ``setup.py`` (no pyproject) so editable installs work in
-offline environments whose setuptools lacks the PEP 660 wheel-based
-editable path.
+Kept as a plain ``setup.py`` so editable installs work in offline
+environments whose setuptools lacks the PEP 660 wheel-based editable path;
+the ``pyproject.toml`` next to this file carries only tool configuration
+(ruff), not build metadata.
 """
 
 from setuptools import find_packages, setup
@@ -27,8 +28,12 @@ setup(
     # probe kernels (see docs/kernels.md).  Without it, kernel="numpy" fails
     # with a one-line error pointing at this extra and everything else runs
     # on the scalar paths.
+    # The lint extra pins the one external linter CI runs alongside
+    # `repro lint` (scoped to pyflakes F-codes in pyproject.toml); the
+    # in-repo AST checker itself is stdlib-only and needs no install.
     extras_require={
         "fast": ["numpy"],
+        "lint": ["ruff==0.8.4"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

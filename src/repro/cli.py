@@ -15,6 +15,8 @@ without writing Python:
   Markdown report (``report run`` / ``report render``, see ``docs/reports.md``),
 * ``repro-lca trace``      — summarize a JSONL span trace and/or convert it
   to Chrome ``trace_event`` JSON (see ``docs/observability.md``),
+* ``repro-lca lint``       — AST contract checker enforcing the repo's
+  determinism/observability/layering invariants (see ``docs/lint.md``),
 * ``repro-lca list``       — list the registered constructions.
 
 Graphs are read from edge-list files (see :mod:`repro.graphs.io`) or
@@ -448,9 +450,13 @@ def cmd_mutate(args) -> int:
 
 
 def cmd_report_run(args) -> int:
-    import time as _time
-
-    from .reports import ResultStore, SpecError, load_scenarios, run_scenario
+    from .reports import (
+        ResultStore,
+        SpecError,
+        load_scenarios,
+        run_scenario,
+        wall_timer,
+    )
 
     try:
         specs = load_scenarios(args.specs)
@@ -464,7 +470,6 @@ def cmd_report_run(args) -> int:
         trace_dir = Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
     for spec in specs:
-        started = _time.perf_counter()
         tracer = None
         if (
             trace_dir is not None
@@ -476,12 +481,13 @@ def cmd_report_run(args) -> int:
 
             tracer = SpanTracer(capacity=spec.observability.capacity)
         try:
-            result = run_scenario(spec, smoke=args.smoke, tracer=tracer)
+            with wall_timer() as timer:
+                result = run_scenario(spec, smoke=args.smoke, tracer=tracer)
         except OSError as exc:
             raise SystemExit(f"report run: {spec.name}: {exc}")
         except (FaultPlanError, ValueError) as exc:
             raise SystemExit(f"report run: {spec.name}: {exc}")
-        path = store.save(result, wall_seconds=_time.perf_counter() - started)
+        path = store.save(result, wall_seconds=timer.seconds)
         sizes = ", ".join(str(row.n) for row in result.sizes)
         phases = [f"n = {sizes}"] + (["service"] if result.service is not None else [])
         print(f"ran {spec.name} ({'; '.join(phases)}) -> {path}")
@@ -523,6 +529,28 @@ def cmd_report_render(args) -> int:
     else:
         print(markdown, end="")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .lint import BaselineError, format_json, format_text, load_baseline, run_lint
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, BaselineError) as exc:
+            raise SystemExit(f"lint: {exc}")
+    try:
+        report = run_lint(
+            root=args.root, paths=args.paths or None, baseline=baseline
+        )
+    except (OSError, BaselineError) as exc:
+        raise SystemExit(f"lint: {exc}")
+    if args.format == "json":
+        print(format_json(report), end="")
+    else:
+        print(format_text(report), end="")
+    return 0 if report.clean else 1
 
 
 def cmd_lowerbound(args) -> int:
@@ -900,6 +928,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report here instead of printing it",
     )
     report_render.set_defaults(handler=cmd_report_render)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST contract checker: determinism, observability, layering "
+        "rules over src/ benchmarks/ scripts/ examples/ (see docs/lint.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src benchmarks "
+        "scripts examples under --root)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="repository root; relative findings paths and the default "
+        "baseline resolve against it (default: cwd)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is byte-stable: sorted findings, "
+        "sorted keys)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline TOML overriding <root>/lint-baseline.toml",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     lower = sub.add_parser("lowerbound", help="Theorem 1.3 distinguishing experiment")
     lower.add_argument("--n", type=int, default=202)

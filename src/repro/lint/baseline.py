@@ -1,0 +1,156 @@
+"""The lint baseline: reviewed, directory-level exceptions in TOML.
+
+``lint-baseline.toml`` (repository root) holds the *deliberate* exceptions
+to the lint contracts — the places where a rule's contract legitimately
+does not apply (benchmarks exist to read the wall clock; the result store
+owns the environment fingerprint).  Every entry must carry a ``reason``:
+an unexplained grant is a validation error, which keeps the baseline from
+silting up with unreviewed suppressions.
+
+Format::
+
+    schema = 1
+
+    [[allow]]
+    code = "DET001"
+    path = "benchmarks/*.py"
+    reason = "benchmarks exist to measure wall-clock time"
+
+``path`` is an :mod:`fnmatch` glob over repository-relative POSIX paths.
+Parsed with :mod:`tomllib` on 3.11+; on 3.10 a subset parser covering
+exactly this shape (scalar keys + ``[[allow]]`` tables) keeps the linter
+stdlib-only, mirroring the fallback in :mod:`repro.reports.spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Union
+
+#: Baseline document version accepted by :func:`load_baseline`.
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, malformed or under-explained."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One reviewed exception: a rule code granted to a path glob."""
+
+    code: str
+    path: str
+    reason: str
+
+    def matches(self, code: str, path: str) -> bool:
+        return code == self.code and fnmatchcase(path, self.path)
+
+
+@dataclass
+class Baseline:
+    """The parsed allowlist; empty by default."""
+
+    entries: List[BaselineEntry]
+
+    def suppresses(self, code: str, path: str) -> bool:
+        return any(entry.matches(code, path) for entry in self.entries)
+
+
+EMPTY_BASELINE = Baseline(entries=[])
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Read and validate one baseline document."""
+    path = Path(path)
+    try:
+        data = _load_toml(path)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+    schema = data.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path}: baseline schema {schema!r}; this build reads {BASELINE_SCHEMA}"
+        )
+    raw_entries = data.get("allow", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"{path}: 'allow' must be an array of tables")
+    entries: List[BaselineEntry] = []
+    for position, raw in enumerate(raw_entries):
+        where = f"{path}: allow[{position}]"
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{where}: expected a table")
+        unknown = sorted(set(raw) - {"code", "path", "reason"})
+        if unknown:
+            raise BaselineError(f"{where}: unknown keys {', '.join(unknown)}")
+        for key in ("code", "path", "reason"):
+            value = raw.get(key)
+            if not isinstance(value, str) or not value.strip():
+                raise BaselineError(f"{where}: {key!r} must be a non-empty string")
+        entries.append(
+            BaselineEntry(code=raw["code"], path=raw["path"], reason=raw["reason"])
+        )
+    return Baseline(entries=entries)
+
+
+# --------------------------------------------------------------------------- #
+# TOML loading: stdlib tomllib, else the 3.10 subset parser below.
+# --------------------------------------------------------------------------- #
+def _load_toml(path: Path) -> Dict[str, object]:
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        return _parse_toml_subset(path.read_text(encoding="utf-8"), str(path))
+    with open(path, "rb") as handle:
+        try:
+            return tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise BaselineError(f"{path}: invalid TOML: {exc}") from None
+
+
+def _parse_toml_subset(text: str, where: str) -> Dict[str, object]:
+    """Parse the baseline subset of TOML: scalars and ``[[allow]]`` tables."""
+    document: Dict[str, object] = {}
+    current = document
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            tables = document.setdefault(name, [])
+            if not isinstance(tables, list):
+                raise BaselineError(f"{where}:{lineno}: {name!r} is not an array")
+            current = {}
+            tables.append(current)
+            continue
+        if line.startswith("["):
+            raise BaselineError(
+                f"{where}:{lineno}: only [[name]] tables are supported"
+            )
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise BaselineError(f"{where}:{lineno}: expected 'key = value'")
+        current[key.strip()] = _scalar(value.strip(), f"{where}:{lineno}")
+    return document
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for position, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:position]
+    return line
+
+
+def _scalar(text: str, where: str) -> object:
+    if len(text) >= 2 and text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        raise BaselineError(f"{where}: unsupported value {text!r}") from None

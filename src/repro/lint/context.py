@@ -1,0 +1,67 @@
+"""Parse contexts handed to lint rules: one per file, one per run.
+
+A :class:`FileContext` bundles everything a per-file rule reads — the
+repo-relative POSIX path, raw source, parsed AST and the suppression
+pragmas — plus lazily-computed extras (parent links for ancestor walks).
+A :class:`ProjectContext` is the whole scanned set, for rules that check
+cross-file contracts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from .pragmas import PragmaIndex
+
+
+@dataclass
+class FileContext:
+    """One parsed source file under lint."""
+
+    root: Path
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+    _parents_installed: bool = field(default=False, repr=False)
+
+    def walk(self):
+        """``ast.walk`` over the tree with parent links installed once.
+
+        Rules use :func:`repro.lint.rules.base.ancestors` to walk upward.
+        """
+        if not self._parents_installed:
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    child._repro_lint_parent = node  # type: ignore[attr-defined]
+            self._parents_installed = True
+        return ast.walk(self.tree)
+
+    def under(self, *prefixes: str) -> bool:
+        """Is this file inside any of the given repo-relative directories?"""
+        return any(
+            self.rel_path == prefix or self.rel_path.startswith(prefix + "/")
+            for prefix in prefixes
+        )
+
+    @property
+    def module_name(self) -> Optional[str]:
+        """Dotted import name for files under ``src/`` (else ``None``)."""
+        if not self.rel_path.startswith("src/"):
+            return None
+        parts = self.rel_path[len("src/"):].removesuffix(".py").split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+@dataclass
+class ProjectContext:
+    """The whole scanned tree: root plus every parsed file, sorted by path."""
+
+    root: Path
+    files: List[FileContext]

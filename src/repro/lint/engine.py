@@ -1,0 +1,202 @@
+"""The lint engine: discover, parse, check, suppress, report.
+
+:func:`run_lint` is the one entry point (the CLI, the tests and the
+``check_docs`` shim all go through it): walk the scanned trees in sorted
+order, parse each file once, run every registered rule, then subtract the
+two suppression layers — same-line/file pragmas
+(:mod:`repro.lint.pragmas`) and the reviewed baseline
+(:mod:`repro.lint.baseline`).  What survives is the *new-findings set*:
+non-empty ⇒ exit 1.
+
+Everything about a run is deterministic: file order is sorted, rule order
+is fixed by the registry, findings sort by position, and the JSON format
+is ``sort_keys`` with a trailing newline — two runs over the same tree are
+byte-identical, which CI and the test suite rely on (the same contract the
+report renderer honors).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .baseline import EMPTY_BASELINE, Baseline, load_baseline
+from .context import FileContext, ProjectContext
+from .findings import Finding
+from .pragmas import scan_pragmas
+
+#: Output document version for ``--format json``.
+LINT_SCHEMA = 1
+
+#: Trees scanned when no explicit paths are given (those that exist).
+DEFAULT_TARGETS = ("src", "benchmarks", "scripts", "examples")
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+#: Default baseline filename, resolved against the scan root.
+DEFAULT_BASELINE_NAME = "lint-baseline.toml"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed_pragma: int = 0
+    suppressed_baseline: int = 0
+    rule_codes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def discover_files(root: Path, paths: Optional[Sequence[Union[str, Path]]]) -> List[Path]:
+    """The sorted ``.py`` file set one run scans.
+
+    ``paths`` may name files or directories (relative to ``root``); when
+    omitted, the :data:`DEFAULT_TARGETS` that exist under ``root`` are
+    scanned, falling back to the root itself for non-repo layouts.
+    """
+    if paths:
+        targets = [root / p if not Path(p).is_absolute() else Path(p) for p in paths]
+    else:
+        targets = [root / name for name in DEFAULT_TARGETS if (root / name).is_dir()]
+        if not targets:
+            targets = [root]
+    files = set()
+    for target in targets:
+        if target.is_file():
+            files.add(target.resolve())
+        elif target.is_dir():
+            for path in target.rglob("*.py"):
+                if not SKIP_DIRS.intersection(path.parts):
+                    files.add(path.resolve())
+        else:
+            raise FileNotFoundError(f"lint target {target} does not exist")
+    return sorted(files)
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    root: Union[str, Path] = ".",
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    baseline: Optional[Union[str, Path, Baseline]] = None,
+) -> LintReport:
+    """Run every registered rule over the tree; returns the report.
+
+    ``baseline`` may be a parsed :class:`~repro.lint.baseline.Baseline`, a
+    path to a TOML baseline, or ``None`` — which loads
+    ``<root>/lint-baseline.toml`` when present and an empty baseline
+    otherwise.
+    """
+    from .rules import build_rules  # late: rule modules import this module's types
+
+    root = Path(root)
+    if isinstance(baseline, Baseline):
+        resolved_baseline = baseline
+    elif baseline is not None:
+        resolved_baseline = load_baseline(baseline)
+    elif (root / DEFAULT_BASELINE_NAME).is_file():
+        resolved_baseline = load_baseline(root / DEFAULT_BASELINE_NAME)
+    else:
+        resolved_baseline = EMPTY_BASELINE
+
+    rules = build_rules()
+    contexts: List[FileContext] = []
+    raw: List[Finding] = []
+    for path in discover_files(root, paths):
+        rel_path = _relative(path, root)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=rel_path)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    code="LINT000",
+                    path=rel_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(
+            FileContext(
+                root=root,
+                path=path,
+                rel_path=rel_path,
+                source=source,
+                tree=tree,
+                pragmas=scan_pragmas(source),
+            )
+        )
+
+    for ctx in contexts:
+        for rule in rules:
+            raw.extend(rule.check(ctx))
+    project = ProjectContext(root=root, files=contexts)
+    for rule in rules:
+        raw.extend(rule.finalize(project))
+
+    pragma_index = {ctx.rel_path: ctx.pragmas for ctx in contexts}
+    findings: List[Finding] = []
+    suppressed_pragma = 0
+    suppressed_baseline = 0
+    for finding in sorted(set(raw), key=lambda f: f.sort_key):
+        pragmas = pragma_index.get(finding.path)
+        if pragmas is not None and pragmas.suppresses(finding.code, finding.line):
+            suppressed_pragma += 1
+            continue
+        if resolved_baseline.suppresses(finding.code, finding.path):
+            suppressed_baseline += 1
+            continue
+        findings.append(finding)
+    return LintReport(
+        findings=findings,
+        files_checked=len(contexts),
+        suppressed_pragma=suppressed_pragma,
+        suppressed_baseline=suppressed_baseline,
+        rule_codes=sorted(rule.code for rule in rules),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Output formats (both byte-stable across runs)
+# --------------------------------------------------------------------------- #
+def format_text(report: LintReport) -> str:
+    """Human-readable listing plus a one-line summary."""
+    lines = [finding.render() for finding in report.findings]
+    lines.append(
+        f"repro lint: {len(report.findings)} finding(s) in "
+        f"{report.files_checked} file(s) "
+        f"({report.suppressed_baseline} baselined, "
+        f"{report.suppressed_pragma} pragma-suppressed)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable document; byte-identical for identical trees."""
+    document = {
+        "schema": LINT_SCHEMA,
+        "files_checked": report.files_checked,
+        "findings": [finding.as_dict() for finding in report.findings],
+        "rules": report.rule_codes,
+        "suppressed": {
+            "baseline": report.suppressed_baseline,
+            "pragma": report.suppressed_pragma,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

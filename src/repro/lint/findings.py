@@ -1,0 +1,44 @@
+"""Lint findings: one frozen record per contract violation.
+
+A :class:`Finding` pins a rule code to a file position with a one-line
+message.  Findings sort by ``(path, line, col, code, message)`` — a total
+order over every field — so a lint run over the same tree always reports in
+the same order, which is what lets the test suite byte-pin the JSON output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position.
+
+    ``path`` is repository-root-relative with POSIX separators, so findings
+    (and their baseline globs) mean the same thing on every platform.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,62 @@
+"""In-source suppression pragmas for ``repro lint``.
+
+Two forms, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=CODE1,CODE2`` — suppresses those codes on the
+  *same physical line* the comment sits on (use it on the exact line a
+  finding anchors to; multi-line statements anchor findings at the
+  offending node's own line, not the statement head).
+* ``# repro-lint: disable-file=CODE1,CODE2`` — suppresses those codes for
+  the whole file (conventionally placed near the top).
+
+Anything after the code list is free-form justification text, e.g.::
+
+    clock=time.perf_counter,  # repro-lint: disable=DET001 - live default
+
+Pragmas are an escape hatch for *deliberate, explained* exceptions; the
+baseline file (:mod:`repro.lint.baseline`) covers directory-level grants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+#: ``disable=`` / ``disable-file=`` followed by a comma-separated code list.
+_PRAGMA_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*"
+    r"([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+)
+
+
+@dataclass
+class PragmaIndex:
+    """Per-file map of suppressed codes: by line, plus file-wide."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def suppresses(self, code: str, line: int) -> bool:
+        if code in self.file_wide:
+            return True
+        return code in self.by_line.get(line, ())
+
+
+def scan_pragmas(source: str) -> PragmaIndex:
+    """Collect every suppression pragma in ``source``.
+
+    The scan is line-based on the raw text (comments never reach the AST).
+    A pragma-looking string *inside a string literal* would be picked up
+    too; that is acceptable for a lint suppressor — it can only ever hide
+    findings on its own line, never invent them.
+    """
+    index = PragmaIndex()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA_PATTERN.finditer(text):
+            codes = {code.strip() for code in match.group(2).split(",")}
+            if match.group(1) == "disable-file":
+                index.file_wide.update(codes)
+            else:
+                index.by_line.setdefault(lineno, set()).update(codes)
+    return index

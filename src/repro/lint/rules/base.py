@@ -1,0 +1,107 @@
+"""Shared rule machinery: the Rule protocol and small AST utilities.
+
+Every rule is a class with a ``code`` (``DET001``-style, stable, documented
+in ``docs/lint.md``), a one-line ``contract`` and a per-file :meth:`check`.
+Rules that need a whole-tree view (DOC001's entry-point coverage) override
+:meth:`finalize`, which runs once after every file was checked.
+
+The helpers here implement the two resolutions most rules need:
+
+* :class:`ImportMap` — what does a bare name mean in this module?  Built
+  from the module's ``import``/``from .. import`` statements, it canonises
+  ``_time.perf_counter`` and ``from time import perf_counter`` to the same
+  dotted string ``time.perf_counter``.
+* :func:`dotted_name` — the source-level dotted chain of a ``Name`` /
+  ``Attribute`` node (``self._tracer.instant`` → that string), or ``None``
+  for dynamic receivers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+
+
+class Rule:
+    """Base class for lint rules; subclasses set the class attributes."""
+
+    #: Stable finding code, e.g. ``"DET001"``.
+    code: str = "LINT000"
+    #: Short slug used in listings.
+    name: str = "rule"
+    #: One-line statement of the contract the rule enforces.
+    contract: str = ""
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        """Findings for one parsed file (default: none)."""
+        return []
+
+    def finalize(self, project: ProjectContext) -> List[Finding]:
+        """Whole-tree findings, after every file was checked (default: none)."""
+        return []
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The dotted source text of a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias → canonical dotted module/attribute map for one module."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, via the imports.
+
+        ``_time.perf_counter`` (after ``import time as _time``) resolves to
+        ``time.perf_counter``; an unimported base name resolves to itself so
+        rules can still match plain module-level usage.
+        """
+        source = dotted_name(node)
+        if source is None:
+            return None
+        head, _, rest = source.partition(".")
+        canonical_head = self.aliases.get(head, head)
+        return f"{canonical_head}.{rest}" if rest else canonical_head
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk parent links installed by :meth:`FileContext.walk`."""
+    current = getattr(node, "_repro_lint_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_lint_parent", None)

@@ -1,0 +1,145 @@
+"""IMP001: layering — import direction and the numpy boundary.
+
+Two structural contracts keep the codebase's layers honest:
+
+* **Import direction.**  ``graphs/`` and ``core/`` are the foundation every
+  other plane builds on; the service, report and CLI layers sit above them.
+  An import from ``repro.graphs``/``repro.core`` *up* into ``repro.service``,
+  ``repro.reports`` or ``repro.cli`` inverts the architecture (and usually
+  announces itself later as an import cycle).
+* **The numpy boundary.**  numpy is an optional ``[fast]`` extra: the
+  library must import and answer bit-identically without it
+  (``docs/kernels.md``).  Only ``kernels/`` may import numpy, and only
+  inside a ``try``/``except ImportError`` fallback guard, so a
+  numpy-less host degrades to the scalar kernels instead of failing at
+  import time.
+
+Backed dynamically by the CI matrix (the main tests job deliberately runs
+without numpy); this rule catches a stray top-level ``import numpy`` on any
+host, including the ones where numpy happens to be installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..context import FileContext
+from ..findings import Finding
+from .base import Rule, ancestors
+
+#: Foundation packages (module-name prefixes) with restricted imports.
+FOUNDATION_PREFIXES = ("repro.graphs", "repro.core")
+#: Upper layers the foundation must not reach into.
+UPPER_LAYERS = ("repro.service", "repro.reports", "repro.cli")
+#: The only package allowed to import numpy (fallback-guarded).
+KERNELS_DIR = "src/repro/kernels"
+
+
+def _absolute_module(node: ast.AST, package: Optional[str]) -> List[str]:
+    """Absolute dotted module names imported by an Import/ImportFrom node."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            return [node.module] if node.module else []
+        if package is None:
+            return []
+        base = package.split(".")
+        # level=1 is the current package; each extra level climbs one parent.
+        climb = node.level - 1
+        if climb > len(base):
+            return []
+        prefix = base[: len(base) - climb]
+        if node.module:
+            return [".".join(prefix + node.module.split("."))]
+        # ``from .. import service`` — each alias is a submodule.
+        return [".".join(prefix + [alias.name]) for alias in node.names]
+    return []
+
+
+def _in_import_error_guard(node: ast.AST) -> bool:
+    for parent in ancestors(node):
+        if isinstance(parent, ast.Try):
+            for handler in parent.handlers:
+                caught = handler.type
+                names = []
+                if caught is None:
+                    return True
+                if isinstance(caught, ast.Tuple):
+                    names = [
+                        n.id for n in caught.elts if isinstance(n, ast.Name)
+                    ]
+                elif isinstance(caught, ast.Name):
+                    names = [caught.id]
+                if any(
+                    name in ("ImportError", "ModuleNotFoundError", "Exception")
+                    for name in names
+                ):
+                    return True
+    return False
+
+
+class LayeringRule(Rule):
+    """IMP001: foundation imports point down; numpy stays behind kernels/."""
+
+    code = "IMP001"
+    name = "layering"
+    contract = (
+        "graphs/ and core/ never import service/reports/cli; numpy is "
+        "imported only inside kernels/ fallback guards"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        module = ctx.module_name
+        # The defining package of a relative import: for a module file the
+        # containing package, for a package __init__ the package itself.
+        package = None
+        if module is not None:
+            package = module if ctx.rel_path.endswith("__init__.py") else (
+                module.rpartition(".")[0] or None
+            )
+        in_foundation = module is not None and any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in FOUNDATION_PREFIXES
+        )
+        findings: List[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target in _absolute_module(node, package):
+                if in_foundation and any(
+                    target == layer or target.startswith(layer + ".")
+                    for layer in UPPER_LAYERS
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"foundation module {module} imports upper layer "
+                            f"{target}; graphs/ and core/ must not depend on "
+                            "service/, reports/ or the CLI",
+                        )
+                    )
+                if target == "numpy" or target.startswith("numpy."):
+                    if not ctx.under(KERNELS_DIR):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "numpy import outside kernels/; numpy is an "
+                                "optional [fast] extra — go through "
+                                "repro.kernels instead",
+                            )
+                        )
+                    elif not _in_import_error_guard(node):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "unguarded numpy import in kernels/; wrap it "
+                                "in the try/except ImportError fallback so "
+                                "numpy-less hosts degrade to scalar kernels",
+                            )
+                        )
+        return findings

@@ -1,0 +1,91 @@
+"""MET001: metric names validate at lint time, not first use.
+
+:class:`repro.obs.metrics.MetricsRegistry` validates every metric name
+against the ``plane.subsystem.metric`` grammar — at runtime, on first use.
+A misspelled name in a rarely-taken branch (a fault path, a degraded mode)
+therefore only explodes when that branch finally runs.  This rule applies
+the *same* compiled grammar (imported from the registry module, so the two
+can never drift) to every string literal passed to ``counter``/``gauge``/
+``observe`` on a registry-like receiver.  For f-strings the literal
+fragments are checked against the grammar's alphabet — a typo like an
+uppercase plane or a stray space is still caught, while the interpolated
+holes are left to the runtime check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from ...obs.metrics import METRIC_NAME_PATTERN
+from ..context import FileContext
+from ..findings import Finding
+from .base import Rule, dotted_name
+
+#: Registry methods whose first argument is a metric name.
+REGISTRY_METHODS = frozenset({"counter", "gauge", "observe"})
+
+#: Characters an f-string's literal fragments may contribute to a name.
+_FRAGMENT_PATTERN = re.compile(r"^[a-z0-9_.]*$")
+
+
+class MetricNameRule(Rule):
+    """MET001: literal metric names match ``plane.subsystem.metric``."""
+
+    code = "MET001"
+    name = "metric-name-grammar"
+    contract = (
+        "metric-name literals passed to MetricsRegistry match the "
+        "plane.subsystem.metric grammar at lint time"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in REGISTRY_METHODS:
+                continue
+            receiver = (dotted_name(func.value) or "").lower()
+            if "registry" not in receiver and "metrics" not in receiver:
+                continue
+            name_arg = self._name_argument(node)
+            if name_arg is None:
+                continue
+            findings.extend(self._check_name(ctx, func.attr, name_arg))
+        return findings
+
+    @staticmethod
+    def _name_argument(call: ast.Call):
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None
+
+    def _check_name(self, ctx: FileContext, method: str, node: ast.AST):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if not METRIC_NAME_PATTERN.match(node.value):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric name {node.value!r} passed to .{method}() does "
+                    "not match the plane.subsystem.metric grammar "
+                    "(lowercase dotted segments, two or more)",
+                )
+        elif isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    if not _FRAGMENT_PATTERN.match(value.value):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"metric-name fragment {value.value!r} contains "
+                            "characters outside the plane.subsystem.metric "
+                            "alphabet ([a-z0-9_.])",
+                        )

@@ -1,0 +1,105 @@
+"""PLAN001: executor plans reference only module-level callables.
+
+The process executor ships :class:`repro.exec.plan.ChunkPlan` /
+:class:`repro.core.lca.LCASpec` objects to pool workers by pickling.
+Pickle serializes functions and classes *by qualified name*, so a lambda
+or a function defined inside another function (a closure) breaks the
+process backend at runtime — typically long after the plan-building code
+was written, and only on multi-core hosts.  This rule rejects those at
+lint time: any argument to a plan-type constructor (or plan builder) that
+contains a ``lambda`` or names a nested function is a finding.
+
+Backed dynamically by ``tests/test_exec_backends.py`` (the serial/thread/
+process equivalence matrix); this rule fails the build before a
+single-vCPU CI host lets an unpicklable plan slip through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..context import FileContext
+from ..findings import Finding
+from .base import Rule, dotted_name
+
+#: Constructors/builders whose arguments end up inside pickled plans.
+PLAN_CONSTRUCTORS = frozenset(
+    {
+        "ChunkPlan",
+        "ChunkResult",
+        "LCASpec",
+        "InlineGraphRef",
+        "SharedGraphRef",
+        "build_chunk_plans",
+    }
+)
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                # Methods are reachable by qualified name; only functions
+                # nested under a *function* scope are unpicklable.
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+class PicklablePlanRule(Rule):
+    """PLAN001: no lambdas/closures inside executor plan constructors."""
+
+    code = "PLAN001"
+    name = "picklable-plans"
+    contract = (
+        "executor plan constructors receive only module-level "
+        "callables/classes — lambdas and closures break process-pool pickling"
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        nested = None
+        findings: List[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None or callee.split(".")[-1] not in PLAN_CONSTRUCTORS:
+                continue
+            if nested is None:
+                nested = _nested_function_names(ctx.tree)
+            short = callee.split(".")[-1]
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                for child in ast.walk(argument):
+                    if isinstance(child, ast.Lambda):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                child,
+                                f"lambda passed into {short}(...); plans are "
+                                "pickled to process workers — use a "
+                                "module-level callable",
+                            )
+                        )
+                    elif isinstance(child, ast.Name) and child.id in nested:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                child,
+                                f"nested function {child.id!r} passed into "
+                                f"{short}(...); closures cannot be pickled to "
+                                "process workers — hoist it to module level",
+                            )
+                        )
+        return findings

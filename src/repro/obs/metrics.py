@@ -35,7 +35,10 @@ METRICS_SCHEMA = 1
 METRIC_TYPES = ("counter", "gauge", "histogram")
 
 #: ``plane.subsystem.metric``: lowercase dotted segments, two or more.
-_NAME_PATTERN = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+#: Public so the MET001 lint rule validates literals against the *same*
+#: compiled grammar the registry enforces at runtime (they cannot drift).
+METRIC_NAME_PATTERN = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+_NAME_PATTERN = METRIC_NAME_PATTERN
 
 
 class MetricsRegistry:

@@ -45,7 +45,7 @@ from .spec import (
     load_scenario_file,
     load_scenarios,
 )
-from .store import ResultStore, StoreError, environment_fingerprint
+from .store import ResultStore, StoreError, environment_fingerprint, wall_timer
 
 __all__ = [
     "GraphSpec",
@@ -68,4 +68,5 @@ __all__ = [
     "StoreError",
     "environment_fingerprint",
     "render_report",
+    "wall_timer",
 ]

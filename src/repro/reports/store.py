@@ -21,8 +21,10 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from ..core.errors import ReproError
 from .runner import ScenarioResult
@@ -46,6 +48,30 @@ def environment_fingerprint() -> Dict[str, str]:
         "platform": platform.platform(),
         "machine": platform.machine(),
     }
+
+
+class WallTimer:
+    """Elapsed wall-clock seconds of one timed block (see :func:`wall_timer`)."""
+
+    seconds: Optional[float] = None
+
+
+@contextmanager
+def wall_timer() -> Iterator[WallTimer]:
+    """Measure a block's wall-clock duration for provenance.
+
+    This module is the one sanctioned wall-clock reader in the report
+    pipeline (the DET001 lint contract): callers time a scenario run with
+    this helper and hand ``timer.seconds`` to :meth:`ResultStore.save`,
+    which files it next to the environment fingerprint — outside the
+    deterministic ``result`` payload the renderer reads.
+    """
+    timer = WallTimer()
+    started = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - started
 
 
 class ResultStore:

@@ -351,7 +351,7 @@ class ServiceEngine:
     def run(
         self,
         workload: Workload,
-        clock=time.perf_counter,
+        clock=time.perf_counter,  # repro-lint: disable=DET001 - live default; deterministic runs inject a tick clock
         tracer=None,
         profiler=None,
     ) -> ServiceReport:

@@ -16,7 +16,7 @@ from repro.baselines import (
     simulate_baswana_sen,
 )
 from repro.core.errors import ParameterError
-from repro.graphs import gnp_graph, grid_graph, is_connected
+from repro.graphs import gnp_graph, grid_graph
 
 
 @pytest.mark.parametrize("k", [2, 3])

@@ -5,14 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
-    AdjacencyListOracle,
     CombinedLCA,
     KeepAllLCA,
     NotAnEdgeError,
     SpannerLCA,
 )
 from repro.core.lca import PAPER_RESULTS, LCADescription
-from repro.graphs import Graph, gnp_graph
+from repro.graphs import gnp_graph
 
 
 class ModuloLCA(SpannerLCA):

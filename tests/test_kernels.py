@@ -18,7 +18,7 @@ from repro import graphs
 from repro.analysis import evaluate_lca
 from repro.cli import main as cli_main
 from repro.core.registry import create
-from repro.kernels import ENV_KERNEL, KERNELS, KernelUnavailableError, resolve_kernel
+from repro.kernels import ENV_KERNEL, KernelUnavailableError, resolve_kernel
 from repro.spannerk import KSquaredParams, KSquaredSpannerLCA
 
 

@@ -1,0 +1,96 @@
+"""The `repro lint` CLI: formats, exit codes, byte-stable output."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LINT_SCHEMA, format_json, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DIRTY = '"""Fixture."""\nimport time\n\n\ndef stamp():\n    return time.time()\n'
+CLEAN = '"""Fixture."""\n\n\ndef identity(x):\n    return x\n'
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(DIRTY, encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+def test_lint_exit_zero_and_summary_on_clean_tree(clean_tree, capsys):
+    assert main(["lint", "--root", str(clean_tree)]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint: 0 finding(s) in 1 file(s)" in out
+
+
+def test_lint_exit_one_and_rendered_findings_on_dirty_tree(dirty_tree, capsys):
+    assert main(["lint", "--root", str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "src/mod.py:6:11: DET001" in out
+    assert "repro lint: 1 finding(s)" in out
+
+
+def test_lint_json_format_is_schema_versioned(dirty_tree, capsys):
+    assert main(["lint", "--root", str(dirty_tree), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == LINT_SCHEMA
+    assert document["files_checked"] == 1
+    (finding,) = document["findings"]
+    assert finding["code"] == "DET001"
+    assert finding["path"] == "src/mod.py"
+    assert "DET001" in document["rules"] and "IMP001" in document["rules"]
+
+
+def test_lint_json_output_is_byte_stable(dirty_tree, capsys):
+    main(["lint", "--root", str(dirty_tree), "--format", "json"])
+    first = capsys.readouterr().out
+    main(["lint", "--root", str(dirty_tree), "--format", "json"])
+    second = capsys.readouterr().out
+    assert first == second
+    assert first == format_json(run_lint(root=dirty_tree))
+
+
+def test_lint_accepts_explicit_paths(dirty_tree, capsys):
+    (dirty_tree / "src" / "ok.py").write_text(CLEAN, encoding="utf-8")
+    assert main(
+        ["lint", "--root", str(dirty_tree), "src/ok.py"]
+    ) == 0
+    assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+
+def test_lint_missing_target_is_a_clean_error(dirty_tree):
+    with pytest.raises(SystemExit, match="lint:"):
+        main(["lint", "--root", str(dirty_tree), "no/such/dir"])
+
+
+def test_lint_explicit_baseline_overrides_default(dirty_tree, capsys):
+    baseline = dirty_tree / "grants.toml"
+    baseline.write_text(
+        'schema = 1\n\n[[allow]]\ncode = "DET001"\npath = "src/*.py"\n'
+        'reason = "fixture grant"\n',
+        encoding="utf-8",
+    )
+    assert main(
+        ["lint", "--root", str(dirty_tree), "--baseline", str(baseline)]
+    ) == 0
+    assert "(1 baselined" in capsys.readouterr().out
+
+
+def test_lint_malformed_baseline_is_a_clean_error(dirty_tree):
+    baseline = dirty_tree / "grants.toml"
+    baseline.write_text("schema = 99\n", encoding="utf-8")
+    with pytest.raises(SystemExit, match="lint:"):
+        main(["lint", "--root", str(dirty_tree), "--baseline", str(baseline)])

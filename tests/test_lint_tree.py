@@ -1,0 +1,36 @@
+"""Meta-test: the committed tree satisfies its own lint contracts.
+
+`repro lint` over the repository must come back clean (modulo the reviewed
+baseline and inline pragmas) — this is the same gate CI's lint job runs,
+kept in the suite so a contract regression fails locally before push.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import DEFAULT_BASELINE_NAME, format_json, load_baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_tree_is_lint_clean_modulo_baseline():
+    report = run_lint(root=REPO_ROOT)
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.clean, f"new lint findings:\n{rendered}"
+    assert report.files_checked > 100
+
+
+def test_every_baseline_entry_still_suppresses_something():
+    baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    report = run_lint(root=REPO_ROOT)
+    assert baseline.entries, "baseline exists but grants nothing"
+    assert report.suppressed_baseline >= len(baseline.entries), (
+        "some baseline entries no longer match any finding; prune them"
+    )
+
+
+def test_full_tree_json_report_is_byte_stable():
+    first = format_json(run_lint(root=REPO_ROOT))
+    second = format_json(run_lint(root=REPO_ROOT))
+    assert first == second

@@ -5,11 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ParameterError
-from repro.graphs import distance, is_connected, same_component
+from repro.graphs import same_component
 from repro.lowerbound import (
     DesignatedEdge,
     advantage_curve,
-    bfs_distinguisher,
     default_designated_edge,
     run_distinguishing_experiment,
     sample_minus_instance,

@@ -14,7 +14,6 @@ import pytest
 
 from repro.core.errors import GraphError, UnknownVertexError
 from repro.graphs import Graph
-from repro.graphs.csr import CSRGraph
 
 BACKENDS = ("dict", "csr")
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import AdjacencyListOracle, ProbeCounter
+from repro.core import AdjacencyListOracle
 from repro.core.errors import ProbeBudgetExceededError
 from repro.graphs import Graph, complete_graph, gnp_graph, star_graph
 from repro.spanner3 import ThreeSpannerLCA

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.seed import Seed
 from repro.graphs import Graph, gnp_graph, star_graph
 from repro.spanner3.centers import PrefixCenterSystem
 from repro.spanner3.components import (

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.seed import Seed
 from repro.graphs import Graph, cycle_graph, grid_graph, path_graph

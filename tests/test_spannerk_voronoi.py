@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.oracle import AdjacencyListOracle
 from repro.graphs import bounded_degree_expanderish, grid_graph, path_graph
