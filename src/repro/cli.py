@@ -88,10 +88,36 @@ GENERATORS = graphs.FAMILY_BUILDERS
 
 
 def _load_graph(args) -> graphs.Graph:
+    if getattr(args, "mmap", None):
+        if getattr(args, "graph", None) or getattr(args, "generate", None):
+            raise SystemExit("--mmap loads a CSR snapshot; drop --graph/--generate")
+        if getattr(args, "backend", None):
+            raise SystemExit(
+                "--mmap maps a read-only CSR snapshot in place; drop --backend"
+            )
+        from .scale import load_csr_snapshot
+
+        try:
+            return load_csr_snapshot(args.mmap)
+        except (RuntimeError, GraphError) as exc:
+            raise SystemExit(f"--mmap: {exc}")
     if getattr(args, "graph", None):
+        if getattr(args, "stream", False):
+            raise SystemExit(
+                "--stream selects a chunk-emitting generator family; it does "
+                "not apply to --graph files (see read_edge_list_stream)"
+            )
         graph = read_edge_list(args.graph)
     else:
         family = getattr(args, "generate", None) or "gnp"
+        if getattr(args, "stream", False) and not family.endswith("-stream"):
+            candidate = f"{family}-stream"
+            if candidate not in GENERATORS:
+                raise SystemExit(
+                    f"--stream: family {family!r} has no streaming variant; "
+                    f"streaming families: {sorted(graphs.STREAM_FAMILIES)}"
+                )
+            family = candidate
         if family not in GENERATORS:
             raise SystemExit(
                 f"unknown graph family {family!r}; choices: {sorted(GENERATORS)}"
@@ -138,15 +164,24 @@ def cmd_list(_args) -> int:
 
 
 def cmd_generate(args) -> int:
+    if not args.out and not args.snapshot_out:
+        raise SystemExit("generate: pass --out and/or --snapshot-out")
     graph = _load_graph(args)
-    write_edge_list(graph, args.out)
-    print(f"wrote {graph} to {args.out}")
+    if args.out:
+        write_edge_list(graph, args.out)
+        print(f"wrote {graph} to {args.out}")
+    if args.snapshot_out:
+        from .scale import save_csr_snapshot
+
+        save_csr_snapshot(graph, args.snapshot_out)
+        print(f"wrote CSR snapshot of {graph} to {args.snapshot_out}")
     return 0
 
 
 def cmd_query(args) -> int:
     graph = _load_graph(args)
     lca = _apply_kernel(create(args.algorithm, graph, seed=args.seed), args)
+    lca = _apply_memo_cap(lca, args)
     # "batched" is a materialization engine; individual queries fall back to
     # the cached engine (same answers, same per-query probe accounting).
     lca.set_query_mode("cold" if args.query_mode == "cold" else "cached")
@@ -177,6 +212,7 @@ def cmd_materialize(args) -> int:
     _check_executor_mode(args)
     graph = _load_graph(args)
     lca = _apply_kernel(create(args.algorithm, graph, seed=args.seed), args)
+    lca = _apply_memo_cap(lca, args)
     if args.executor:
         spanner = lca.materialize(executor=args.executor, workers=args.workers)
     else:
@@ -204,6 +240,7 @@ def cmd_evaluate(args) -> int:
     _check_executor_mode(args)
     graph = _load_graph(args)
     lca = _apply_kernel(create(args.algorithm, graph, seed=args.seed), args)
+    lca = _apply_memo_cap(lca, args)
     report = evaluate_lca(
         lca,
         sample_stretch_edges=args.stretch_sample,
@@ -591,6 +628,20 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=1, help="random seed")
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="build the generated family through the chunked streaming path "
+        "(maps --generate gnp to gnp-stream etc.); the graph goes straight "
+        "into flat CSR arrays without a Python edge list",
+    )
+    parser.add_argument(
+        "--mmap",
+        metavar="PATH",
+        default=None,
+        help="memory-map a read-only CSR snapshot written by "
+        "'generate --snapshot-out' instead of reading or generating a graph",
+    )
+    parser.add_argument(
         "--backend",
         choices=sorted(graphs.BACKENDS),
         default=None,
@@ -643,6 +694,33 @@ def _apply_kernel(lca, args):
         raise SystemExit(f"{args.command}: {exc}")
 
 
+def _add_memo_cap_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memo-cap",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="bound the cached engine's resident memo state to N entries "
+        "(LRU eviction; per-query random tapes are recomputed from k-wise "
+        "seeds instead of stored). Answers and probe accounting are "
+        "identical to the unbounded cache; only resident memory and "
+        "re-derivation time change. Default: unbounded",
+    )
+
+
+def _apply_memo_cap(lca, args):
+    """Apply ``--memo-cap`` to an LCA (one-line error on --query-mode cold)."""
+    cap = getattr(args, "memo_cap", None)
+    if cap is None:
+        return lca
+    if getattr(args, "query_mode", None) == "cold":
+        raise SystemExit(
+            "--memo-cap bounds the cached engine; the cold mode has no memo "
+            "to cap — drop one of them"
+        )
+    return lca.set_memo_cap(cap)
+
+
 def _add_query_mode_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--query-mode",
@@ -670,7 +748,14 @@ def build_parser() -> argparse.ArgumentParser:
     generate = sub.add_parser("generate", help="write a synthetic workload graph")
     _add_graph_options(generate)
     generate.add_argument("--family", dest="generate", choices=sorted(GENERATORS))
-    generate.add_argument("--out", required=True, help="output edge-list path")
+    generate.add_argument("--out", default=None, help="output edge-list path")
+    generate.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="PATH",
+        help="also (or instead) save the graph as a memory-mappable CSR "
+        "snapshot for --mmap loading",
+    )
     generate.set_defaults(handler=cmd_generate)
 
     query = sub.add_parser("query", help="answer spanner queries for edges")
@@ -684,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_mode_option(query)
     _add_kernel_option(query)
+    _add_memo_cap_option(query)
     query.set_defaults(handler=cmd_query)
 
     materialize = sub.add_parser(
@@ -698,6 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_mode_option(materialize)
     _add_executor_options(materialize)
     _add_kernel_option(materialize)
+    _add_memo_cap_option(materialize)
     materialize.set_defaults(handler=cmd_materialize)
 
     evaluate = sub.add_parser("evaluate", help="materialize and verify an LCA")
@@ -712,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_mode_option(evaluate)
     _add_executor_options(evaluate)
     _add_kernel_option(evaluate)
+    _add_memo_cap_option(evaluate)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     sweep = sub.add_parser("sweep", help="size/probe scaling sweep")

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .errors import NotAnEdgeError
 from .ids import canonical_edge
+from .cache import BoundedOracleCache
 from .oracle import AdjacencyListOracle, CachedOracle
 from .probes import ProbeCounter, ProbeSnapshot, ProbeStatistics
 from .seed import Seed, SeedLike
@@ -149,6 +150,7 @@ class SpannerLCA(abc.ABC):
         self._oracle = AdjacencyListOracle(graph, self._counter)
         self._cached_oracle: Optional[CachedOracle] = None
         self._query_mode = "cold"
+        self._memo_cap: Optional[int] = None
         self._profiler = None
         self._kernel_name: Optional[str] = None
         self._kernel = _KERNEL_UNSET
@@ -257,6 +259,36 @@ class SpannerLCA(abc.ABC):
             component.set_kernel(kernel)
         return self
 
+    def set_memo_cap(self, cap: Optional[int]) -> "SpannerLCA":
+        """Bound the cached engine's resident memo state (the scale mode).
+
+        With a cap, the cached/batched engines run on a
+        :class:`~repro.core.cache.BoundedOracleCache`: at most ``cap``
+        dependency-tracked memo entries stay resident (LRU eviction) and
+        per-vertex random tapes are recomputed from their k-wise seed
+        families instead of being stored.  Answers and per-kind probe
+        accounting are bit-identical to the unbounded cache in every mode
+        and across mutation epochs (pinned by
+        ``tests/test_scale_bounded_cache.py``); evicted state is simply
+        recomputed — and re-charged — on the next touch.  ``None`` removes
+        the cap.  Existing cached state is dropped either way (the engine
+        is rebuilt on next use).  Returns ``self`` for chaining.
+        """
+        if cap is not None and (
+            not isinstance(cap, int) or isinstance(cap, bool) or cap < 1
+        ):
+            raise ValueError(f"memo cap must be a positive integer or None, got {cap!r}")
+        self._memo_cap = cap
+        self._cached_oracle = None
+        for component in getattr(self, "components", ()):
+            component.set_memo_cap(cap)
+        return self
+
+    @property
+    def memo_cap(self) -> Optional[int]:
+        """The active memo-entry cap, or ``None`` when unbounded (telemetry)."""
+        return self._memo_cap
+
     @property
     def kernel_name(self) -> str:
         """The resolved kernel actually in use ("python" or "numpy")."""
@@ -289,7 +321,10 @@ class SpannerLCA(abc.ABC):
         if mode == "cold":
             return self._oracle
         if self._cached_oracle is None:
-            self._cached_oracle = CachedOracle(self._graph, self._counter)
+            cache = None
+            if self._memo_cap is not None:
+                cache = BoundedOracleCache(self._graph, self._memo_cap)
+            self._cached_oracle = CachedOracle(self._graph, self._counter, cache=cache)
             self._cached_oracle.kernel = self._resolve_kernel()
             if self._profiler is not None:
                 self._cached_oracle.profiler = self._profiler

@@ -42,6 +42,7 @@ from .plan import (
     ChunkPlan,
     ChunkResult,
     InlineGraphRef,
+    MappedGraphRef,
     SharedGraphRef,
     build_chunk_plans,
     execute_chunk,
@@ -68,6 +69,7 @@ __all__ = [
     "ChunkResult",
     "CHUNKS_PER_WORKER",
     "InlineGraphRef",
+    "MappedGraphRef",
     "SharedGraphRef",
     "build_chunk_plans",
     "execute_chunk",

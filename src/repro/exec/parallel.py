@@ -32,6 +32,7 @@ from ..core.probes import ADJACENCY, DEGREE, NEIGHBOR
 from .backends import RetryPolicy, check_backend, get_executor, resolve_workers
 from .plan import (
     InlineGraphRef,
+    MappedGraphRef,
     SharedGraphRef,
     build_chunk_plans,
     clear_worker_slot,
@@ -87,9 +88,15 @@ def materialize_parallel(
     shared_export = None
     try:
         if executor == "process":
-            # One copy into shared memory; every worker maps it read-only.
-            shared_export = graph.to_backend("csr").to_shared()
-            graph_ref = SharedGraphRef(shared_export.handle)
+            mapped = getattr(graph, "mapped_handle", None)
+            if mapped is not None:
+                # The graph already lives in an on-disk snapshot every
+                # worker can map read-only; skip the shared-memory copy.
+                graph_ref = MappedGraphRef(mapped)
+            else:
+                # One copy into shared memory; every worker maps it read-only.
+                shared_export = graph.to_backend("csr").to_shared()
+                graph_ref = SharedGraphRef(shared_export.handle)
         else:
             graph_ref = InlineGraphRef(graph, token=next_run_token())
         plans = build_chunk_plans(graph_ref, spec, edge_list, worker_count)

@@ -92,6 +92,28 @@ class SharedGraphRef:
         return self.handle.shm_name
 
 
+@dataclass(frozen=True)
+class MappedGraphRef:
+    """Graph reference resolved by mapping an on-disk CSR snapshot.
+
+    ``handle`` is duck-typed (anything picklable with an ``attach()``
+    returning a graph — in practice a
+    :class:`repro.scale.snapshot.MappedCSRHandle`), so the exec plane needs
+    no import of the scale plane.  Like :class:`SharedGraphRef` it costs a
+    few dozen bytes on the wire; unlike it, the backing storage is a file,
+    so no exporter process has to outlive the workers.
+    """
+
+    handle: object
+
+    def resolve(self) -> Graph:
+        return self.handle.attach()
+
+    @property
+    def cache_key(self) -> object:
+        return ("mapped", self.handle)
+
+
 @dataclass
 class ChunkPlan:
     """One worker assignment: answer ``edges`` with a rebuild of ``spec``."""

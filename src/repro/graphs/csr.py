@@ -177,6 +177,57 @@ class CSRGraph(Graph):
         """Convert any backend to CSR, preserving neighbor orderings."""
         return graph.to_backend("csr")  # type: ignore[return-value]
 
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: "array",
+        indices: "array",
+        ids: Optional[Sequence[int]] = None,
+    ) -> "CSRGraph":
+        """Adopt pre-built flat CSR arrays without an adjacency-dict pass.
+
+        This is the entry point for the streaming builders
+        (:mod:`repro.scale.stream`): they assemble ``indptr``/``indices``
+        incrementally from edge chunks and hand the finished arrays over,
+        so a million-node graph never exists as a Python edge list or an
+        adjacency mapping.  The arrays are adopted, not copied — callers
+        must not mutate them afterwards.
+
+        ``ids`` defaults to ``0..n-1`` (position == id).  Row ``p`` of
+        ``indices`` must hold the neighbors of ``ids[p]`` in their final,
+        probe-visible order; symmetry and simplicity are the builder's
+        contract (the streaming builder validates per edge as it fills).
+        """
+        n = len(indptr) - 1
+        if n < 0 or indptr[0] != 0:
+            raise GraphError("indptr must start at 0 and have n + 1 entries")
+        if len(indices) != indptr[n]:
+            raise GraphError(
+                f"indices length {len(indices)} does not match "
+                f"indptr[-1] = {indptr[n]}"
+            )
+        if ids is None:
+            id_list: List[int] = list(range(n))
+            pos = {v: v for v in id_list}
+        else:
+            id_list = [int(v) for v in ids]
+            pos = {v: p for p, v in enumerate(id_list)}
+            if len(pos) != n:
+                raise GraphError(
+                    f"ids must be {n} distinct vertex ids, got {len(id_list)}"
+                )
+        graph = cls.__new__(cls)
+        graph._ids = id_list
+        graph._pos = pos
+        graph._indptr = indptr
+        graph._indices = indices
+        graph._rows = {}
+        graph._views = {}
+        graph._num_edges = len(indices) // 2
+        graph._init_mutation_state()
+        graph._init_overlay()
+        return graph
+
     def to_shared(self) -> "SharedCSRExport":
         """Export the CSR arrays to a shared-memory segment (one copy).
 

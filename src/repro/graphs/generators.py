@@ -17,12 +17,18 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from array import array
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import GraphError, ParameterError
 from .graph import Graph
 
 Edge = Tuple[int, int]
+
+#: Default edges per chunk emitted by the streaming generators.  Large
+#: enough that per-chunk overhead vanishes, small enough that a chunk is
+#: cache-resident (~1 MiB of int64 pairs).
+DEFAULT_CHUNK_EDGES = 65536
 
 
 def _rng(seed: Optional[int]) -> random.Random:
@@ -85,6 +91,38 @@ def grid_graph(rows: int, cols: int, seed: Optional[int] = None) -> Graph:
     return _build(edges, range(rows * cols), seed)
 
 
+def _gnp_edge_iter(n: int, p: float, rng: random.Random) -> Iterator[Edge]:
+    """Skip-sampling ``G(n, p)`` edge enumeration.
+
+    Shared by the in-memory :func:`gnp_graph` and the chunked
+    :func:`gnp_edge_chunks`, so both consume the rng in exactly the same
+    schedule — the foundation of the streamed-vs-in-memory bit-identity
+    pinned in ``tests/test_scale_stream.py``.  Yields each edge exactly
+    once, ``(w, v)`` with ``w < v``.
+    """
+    if p <= 0.0:
+        return
+    if p >= 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                yield (u, v)
+        return
+    log_q = math.log(1.0 - p)
+    if log_q == 0.0:
+        # p below one float ulp: 1 - p rounds to 1.0 and the expected edge
+        # count n^2 * p underflows with it — an empty graph, not a crash.
+        return
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.floor(math.log(1.0 - r) / log_q))
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            yield (w, v)
+
+
 def gnp_graph(n: int, p: float, seed: Optional[int] = None) -> Graph:
     """Erdős–Rényi ``G(n, p)``.
 
@@ -96,21 +134,7 @@ def gnp_graph(n: int, p: float, seed: Optional[int] = None) -> Graph:
     if not 0.0 <= p <= 1.0:
         raise ParameterError("p must be in [0, 1]")
     rng = _rng(seed)
-    edges: List[Edge] = []
-    if p > 0:
-        if p >= 1.0:
-            edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
-        else:
-            log_q = math.log(1.0 - p)
-            v, w = 1, -1
-            while v < n:
-                r = rng.random()
-                w = w + 1 + int(math.floor(math.log(1.0 - r) / log_q))
-                while w >= v and v < n:
-                    w -= v
-                    v += 1
-                if v < n:
-                    edges.append((w, v))
+    edges: List[Edge] = list(_gnp_edge_iter(n, p, rng))
     return _build(edges, range(n), seed)
 
 
@@ -179,6 +203,20 @@ def circulant_graph(n: int, offsets: Sequence[int], seed: Optional[int] = None) 
 # --------------------------------------------------------------------------- #
 # Skewed / structured families targeting the paper's regimes
 # --------------------------------------------------------------------------- #
+def _power_law_weights(n: int, exponent: float, min_degree: int) -> List[float]:
+    """The capped Chung–Lu weight sequence shared by both power-law paths.
+
+    Non-increasing in the vertex index — a property the streaming
+    skip-sampler (:func:`_chung_lu_edge_iter`) relies on.
+    """
+    weights = [
+        max(float(min_degree), float(min_degree) * ((i + 1) ** (-1.0 / (exponent - 1.0))) * n ** (1.0 / (exponent - 1.0)) / 4.0)
+        for i in range(n)
+    ]
+    cap = math.sqrt(n) * max(4.0, min_degree)
+    return [min(w, cap) for w in weights]
+
+
 def power_law_graph(
     n: int, exponent: float = 2.5, min_degree: int = 2, seed: Optional[int] = None
 ) -> Graph:
@@ -193,12 +231,7 @@ def power_law_graph(
     if exponent <= 1.0:
         raise ParameterError("exponent must exceed 1")
     rng = _rng(seed)
-    weights = [
-        max(float(min_degree), float(min_degree) * ((i + 1) ** (-1.0 / (exponent - 1.0))) * n ** (1.0 / (exponent - 1.0)) / 4.0)
-        for i in range(n)
-    ]
-    cap = math.sqrt(n) * max(4.0, min_degree)
-    weights = [min(w, cap) for w in weights]
+    weights = _power_law_weights(n, exponent, min_degree)
     total = sum(weights)
     edges = set()
     for u in range(n):
@@ -341,6 +374,204 @@ def relabel_randomly(graph: Graph, seed: Optional[int] = None, id_space: int = 1
 
 
 # --------------------------------------------------------------------------- #
+# Streaming (chunk-emitting) families
+# --------------------------------------------------------------------------- #
+class EdgeChunkStream:
+    """Re-iterable stream of edge chunks — the million-node generation path.
+
+    Each chunk is a flat ``array('q')`` of ``[u0, v0, u1, v1, ...]`` pairs;
+    at no point does a Python edge list (or per-edge tuple objects) for the
+    whole graph exist.  The stream is **re-iterable**: every ``iter()``
+    re-runs the seeded factory from scratch and yields the identical chunk
+    sequence, which is what lets the incremental CSR builder
+    (:func:`repro.scale.stream.build_csr_from_chunks`) make its two passes
+    (degree count, then fill) without buffering.
+
+    Emitters guarantee each undirected edge appears exactly once with no
+    self-loops; the builder validates ids and loops as it consumes.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        factory: Callable[[], Iterator[Edge]],
+        chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    ) -> None:
+        if num_vertices < 0:
+            raise ParameterError("num_vertices must be non-negative")
+        if chunk_edges < 1:
+            raise ParameterError("chunk_edges must be positive")
+        self.num_vertices = int(num_vertices)
+        self._factory = factory
+        self._chunk_edges = int(chunk_edges)
+
+    def __iter__(self) -> Iterator[array]:
+        chunk = array("q")
+        limit = 2 * self._chunk_edges
+        for u, v in self._factory():
+            chunk.append(u)
+            chunk.append(v)
+            if len(chunk) >= limit:
+                yield chunk
+                chunk = array("q")
+        if chunk:
+            yield chunk
+
+
+def gnp_edge_chunks(
+    n: int,
+    p: float,
+    seed: Optional[int] = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeChunkStream:
+    """Chunk-emitting ``G(n, p)``.
+
+    Consumes the seeded rng in exactly the same schedule as
+    :func:`gnp_graph` (they share :func:`_gnp_edge_iter`), so streaming
+    this into the incremental CSR builder with ``shuffle_seed=seed``
+    reproduces ``gnp_graph(n, p, seed).to_backend("csr")`` bit for bit.
+    """
+    if n < 1:
+        raise ParameterError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError("p must be in [0, 1]")
+    return EdgeChunkStream(n, lambda: _gnp_edge_iter(n, p, _rng(seed)), chunk_edges)
+
+
+def _chung_lu_edge_iter(
+    n: int, weights: Sequence[float], rng: random.Random
+) -> Iterator[Edge]:
+    """Miller–Hagberg skip sampling of the Chung–Lu model.
+
+    O(n + m) for non-increasing weight sequences: within each row the
+    connection probability only shrinks, so a geometric skip at the current
+    probability followed by an acceptance correction samples every pair
+    ``u < v`` with probability ``min(1, w_u * w_v / total)`` — without the
+    O(n²) pair scan of the in-memory generator.  Yields each edge once.
+    """
+    total = math.fsum(weights)
+    if total <= 0.0:
+        return
+    for u in range(n - 1):
+        v = u + 1
+        p = min(1.0, weights[u] * weights[v] / total)
+        while v < n and p > 0.0:
+            if p < 1.0:
+                log_q = math.log(1.0 - p)
+                if log_q == 0.0:
+                    break  # p below one float ulp: no edge lands in this row
+                r = rng.random()
+                v += int(math.floor(math.log(1.0 - r) / log_q))
+            if v < n:
+                q = min(1.0, weights[u] * weights[v] / total)
+                if rng.random() < q / p:
+                    yield (u, v)
+                p = q
+                v += 1
+
+
+def power_law_edge_chunks(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: int = 2,
+    seed: Optional[int] = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeChunkStream:
+    """Chunk-emitting power-law family (exact Chung–Lu via skip sampling).
+
+    Same capped weight sequence as :func:`power_law_graph` but a different
+    (streaming-friendly, O(n + m)) sampler, so this is a sibling family —
+    deterministic per seed and degree-skewed like the in-memory one, not a
+    bit-identical replay of it.
+    """
+    if n < 2:
+        raise ParameterError("n must be at least 2")
+    if exponent <= 1.0:
+        raise ParameterError("exponent must exceed 1")
+    weights = _power_law_weights(n, exponent, min_degree)
+    return EdgeChunkStream(
+        n, lambda: _chung_lu_edge_iter(n, weights, _rng(seed)), chunk_edges
+    )
+
+
+def _clustered_edge_iter(
+    n: int, num_clusters: int, p: float, rng: random.Random
+) -> Iterator[Edge]:
+    """Contiguous-block clustered family: complete clusters + sparse inter edges.
+
+    Clusters are contiguous id blocks of size ``ceil(n / num_clusters)``
+    (the streaming sibling of :func:`dense_cluster_graph`'s round-robin
+    assignment).  Intra-cluster pairs are complete; inter-cluster pairs are
+    skip-sampled at probability ``p`` — candidate positions that land inside
+    ``u``'s own block are discarded, so each cross pair is hit independently
+    with probability exactly ``p``.  Yields each edge once.
+    """
+    csize = -(-n // num_clusters) if num_clusters else n
+    for start in range(0, n, csize):
+        stop = min(start + csize, n)
+        for u in range(start, stop):
+            for v in range(u + 1, stop):
+                yield (u, v)
+    if p <= 0.0:
+        return
+    if p >= 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                if u // csize != v // csize:
+                    yield (u, v)
+        return
+    log_q = math.log(1.0 - p)
+    if log_q == 0.0:
+        return  # p below one float ulp (see _gnp_edge_iter)
+    for u in range(n - 1):
+        v = u
+        while True:
+            r = rng.random()
+            v += 1 + int(math.floor(math.log(1.0 - r) / log_q))
+            if v >= n:
+                break
+            if v // csize != u // csize:
+                yield (u, v)
+
+
+def cluster_edge_chunks(
+    n: int,
+    num_clusters: int,
+    inter_probability: float = 0.02,
+    seed: Optional[int] = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeChunkStream:
+    """Chunk-emitting clustered family (contiguous dense blocks + sparse links)."""
+    if n < 1:
+        raise ParameterError("n must be positive")
+    if num_clusters < 1 or num_clusters > n:
+        raise ParameterError("num_clusters must be in [1, n]")
+    if not 0.0 <= inter_probability <= 1.0:
+        raise ParameterError("inter_probability must be in [0, 1]")
+    return EdgeChunkStream(
+        n,
+        lambda: _clustered_edge_iter(n, num_clusters, inter_probability, _rng(seed)),
+        chunk_edges,
+    )
+
+
+def _stream_family_builder(family: str):
+    """Registry adapter routing a ``*-stream`` family through the scale plane.
+
+    The import is deferred into the call so ``repro.graphs`` (foundation
+    layer) never imports ``repro.scale`` at module load; the scale plane
+    imports graphs, not the other way around.
+    """
+
+    def build(n: int, density: float, seed: Optional[int]) -> Graph:
+        from ..scale.stream import build_stream_family
+
+        return build_stream_family(family, n, density=density, seed=seed)
+
+    return build
+
+
+# --------------------------------------------------------------------------- #
 # Named families (the scenario axis)
 # --------------------------------------------------------------------------- #
 #: Size/density-parameterized graph families addressable by name.  The CLI
@@ -361,7 +592,16 @@ FAMILY_BUILDERS: Dict[str, object] = {
     "grid": lambda n, density, seed: grid_graph(
         max(2, int(round(n ** 0.5))), max(2, int(round(n ** 0.5))), seed=seed
     ),
+    "gnp-stream": _stream_family_builder("gnp-stream"),
+    "power-law-stream": _stream_family_builder("power-law-stream"),
+    "clustered-stream": _stream_family_builder("clustered-stream"),
 }
+
+#: Families built by the chunked streaming path (always CSR-backed; scenario
+#: specs reject them with other backends — see ``repro.reports.spec``).
+STREAM_FAMILIES = tuple(
+    sorted(name for name in FAMILY_BUILDERS if name.endswith("-stream"))
+)
 
 #: Sorted family names (argparse choices, spec validation).
 GRAPH_FAMILIES = tuple(sorted(FAMILY_BUILDERS))

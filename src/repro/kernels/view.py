@@ -132,8 +132,16 @@ def build_view(np_module, graph) -> Optional[CSRView]:
             and not isinstance(graph._indices, list)
         )
         if flat:
-            indptr = np.array(graph._indptr, dtype=np.int64)
-            nbr_id = np.array(graph._indices, dtype=np.int64)
+            if isinstance(graph._indices, memoryview):
+                # Read-only storage (mmap snapshots, shared-memory
+                # attachments): alias the buffers instead of copying —
+                # safe because these graphs refuse mutation, so the view
+                # can never drift from the arrays it wraps.
+                indptr = np.frombuffer(graph._indptr, dtype=np.int64)
+                nbr_id = np.frombuffer(graph._indices, dtype=np.int64)
+            else:
+                indptr = np.array(graph._indptr, dtype=np.int64)
+                nbr_id = np.array(graph._indices, dtype=np.int64)
         else:
             rows = [graph.neighbors(v) for v in ids_list]
             counts = np.array([len(row) for row in rows], dtype=np.int64)

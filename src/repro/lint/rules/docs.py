@@ -53,6 +53,16 @@ ENTRY_POINTS = [
     "repro.reports.render:render_report",
     "repro.cli:build_parser",
     "repro.lint:run_lint",
+    "repro.graphs.csr:CSRGraph.from_arrays",
+    "repro.graphs.generators:EdgeChunkStream",
+    "repro.graphs.io:read_edge_list_stream",
+    "repro.scale.stream:build_csr_from_chunks",
+    "repro.scale.stream:build_stream_family",
+    "repro.scale.snapshot:save_csr_snapshot",
+    "repro.scale.snapshot:load_csr_snapshot",
+    "repro.scale.snapshot:MappedCSRGraph",
+    "repro.core.cache:BoundedOracleCache",
+    "repro.core.lca:SpannerLCA.set_memo_cap",
 ]
 
 

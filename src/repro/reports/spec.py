@@ -50,7 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.errors import ReproError
 from ..exec import EXECUTOR_BACKENDS, PINNED_BACKENDS
 from ..faults import FaultPlan
-from ..graphs.generators import GRAPH_FAMILIES
+from ..graphs.generators import GRAPH_FAMILIES, STREAM_FAMILIES
 from ..service.engine import DEGRADED_MODES
 from ..service.shards import ROUTING_POLICIES
 from ..service.workload import WORKLOAD_KINDS
@@ -98,6 +98,12 @@ class GraphSpec:
             f"graph sizes must be integers >= 2, got {list(self.sizes)}",
         )
         _require(self.density > 0, "graph density must be positive")
+        if self.family in STREAM_FAMILIES:
+            _require(
+                self.backend == "csr",
+                f"streaming family {self.family!r} builds straight into CSR "
+                "arrays; backend must be \"csr\"",
+            )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -116,6 +122,7 @@ class MaterializeSpec:
     mode: str = "batched"
     executor: Optional[str] = None
     workers: Optional[int] = None
+    memo_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         _check_choice(self.mode, QUERY_MODES, "materialize mode")
@@ -127,6 +134,21 @@ class MaterializeSpec:
             )
         if self.workers is not None:
             _require(self.workers >= 1, "workers must be >= 1")
+        if self.memo_cap is not None:
+            _require(
+                isinstance(self.memo_cap, int) and self.memo_cap >= 1,
+                f"memo_cap must be an integer >= 1, got {self.memo_cap!r}",
+            )
+            _require(
+                self.mode != "cold",
+                "memo_cap bounds the cached engine; the cold mode has no "
+                "memo to cap — drop one of them",
+            )
+            _require(
+                self.executor is None,
+                "memo_cap applies to the coordinator's cache only; chunk "
+                "workers keep unbounded caches — drop executor or memo_cap",
+            )
 
     def as_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {"mode": self.mode}
@@ -134,6 +156,8 @@ class MaterializeSpec:
             payload["executor"] = self.executor
         if self.workers is not None:
             payload["workers"] = self.workers
+        if self.memo_cap is not None:
+            payload["memo_cap"] = self.memo_cap
         return payload
 
 

@@ -1,0 +1,189 @@
+"""Bounded-memory oracle mode: eviction is answer- and probe-invisible.
+
+The scale plane's bounded :class:`~repro.core.cache.BoundedOracleCache`
+forgets memo entries under an LRU cap and recomputes them on demand.  Since
+every memoized value is a pure function of ``(graph, seed, key)`` and every
+recompute re-charges the exact cold probe schedule a hit would have
+replayed, a capped oracle must be *bit-identical* to the unbounded one in
+answers and per-kind probe accounting — across algorithms, graph backends
+and mutation epochs.  These tests pin that equivalence, plus the honesty of
+the accounting (evicted-then-recomputed work is charged, never dropped) and
+the protocol edges (no incremental snapshots, k-wise tape compression).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import graphs
+from repro.core.cache import BoundedOracleCache, OracleCache, SnapshotCursor
+from repro.core.registry import create
+from repro.reports.runner import churn_ops
+
+CAPS = [1, 2, 8]
+ALGORITHMS = ["spanner3", "spanner5", "spannerk"]
+BACKENDS = ["dict", "csr"]
+
+
+def _graph(backend, seed=5):
+    return graphs.gnp_graph(40, 0.18, seed=seed).to_backend(backend)
+
+
+def _trace(lca, edges):
+    """(answer, probe-total, per-kind counter) per query — the full ledger."""
+    out = []
+    for (u, v) in edges:
+        result = lca.query_with_stats(u, v)
+        out.append((result.in_spanner, result.probes, lca.probe_counter.snapshot().as_dict()))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Equivalence: capped ≡ unbounded, across algorithms × backends × epochs
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("cap", CAPS)
+def test_bounded_oracle_bit_identical_across_epochs(algorithm, backend, cap):
+    reference = create(algorithm, _graph(backend), seed=7)
+    bounded = create(algorithm, _graph(backend), seed=7).set_memo_cap(cap)
+    reference.set_query_mode("cached")
+    bounded.set_query_mode("cached")
+
+    for epoch in range(3):
+        edges = sorted(reference.graph.edges())[:30]
+        assert _trace(reference, edges) == _trace(bounded, edges)
+        # Re-query half of them (hits on one side, possible re-derivations
+        # on the other — the ledger must still agree entry for entry).
+        assert _trace(reference, edges[:15]) == _trace(bounded, edges[:15])
+        ops = churn_ops(reference.graph, 6, seed=100 + epoch)
+        assert reference.apply_mutations(ops) == bounded.apply_mutations(ops)
+
+
+@pytest.mark.parametrize("cap", CAPS)
+def test_bounded_oracle_materialize_matches_unbounded(cap):
+    reference = create("spanner3", _graph("csr"), seed=3)
+    bounded = create("spanner3", _graph("csr"), seed=3).set_memo_cap(cap)
+    mat_r = reference.materialize(mode="batched")
+    mat_b = bounded.materialize(mode="batched")
+    assert mat_b.edges == mat_r.edges
+    assert mat_b.probe_stats.query_totals == mat_r.probe_stats.query_totals
+    assert (
+        bounded.probe_counter.snapshot().as_dict()
+        == reference.probe_counter.snapshot().as_dict()
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Eviction mechanics and honest accounting (scalar kernel: the memo path)
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def scalar_bounded_lca():
+    """A cap-1 spanner3 LCA pinned to the scalar kernel.
+
+    The vectorized kernels keep their own array tables and bypass the
+    OracleCache memo entirely; only the scalar path exercises store/evict.
+    """
+    lca = create("spanner3", _graph("csr"), seed=11).set_kernel("python")
+    lca.set_memo_cap(1)
+    lca.set_query_mode("cached")
+    return lca
+
+
+def test_eviction_counts_and_resident_bound(scalar_bounded_lca):
+    lca = scalar_bounded_lca
+    edges = sorted(lca.graph.edges())[:20]
+    cache = lca.ensure_cached_oracle().cache
+    assert isinstance(cache, BoundedOracleCache)
+    lca.query_batch(edges)
+    assert cache.resident_entries <= 1
+    # Every stored answer past the first displaced its predecessor.
+    assert cache.evictions == len(edges) - 1
+    assert cache.stats.misses == len(edges)
+
+
+def test_evicted_work_is_recharged_not_dropped(scalar_bounded_lca):
+    """Alternate two queries under cap=1: every re-touch pays full cold cost."""
+    lca = scalar_bounded_lca
+    edges = sorted(lca.graph.edges())[:2]
+    cache = lca.ensure_cached_oracle().cache
+    first = lca.query_batch(edges)
+    baseline = first.probe_totals
+    evictions = cache.evictions
+    misses = cache.stats.misses
+    for _ in range(3):
+        again = lca.query_batch(edges)
+        # Identical answers AND identical per-query charges: the recompute
+        # after an eviction re-pays exactly the cold schedule — work is
+        # re-charged, never silently dropped (and never double-counted).
+        assert again.answers == first.answers
+        assert again.probe_totals == baseline
+        assert cache.evictions > evictions
+        assert cache.stats.misses > misses
+        evictions = cache.evictions
+        misses = cache.stats.misses
+    assert cache.resident_entries <= 1
+
+
+def test_unbounded_cache_untouched_by_default():
+    lca = create("spanner3", _graph("csr"), seed=11)
+    assert lca.memo_cap is None
+    cache = lca.ensure_cached_oracle().cache
+    assert isinstance(cache, OracleCache)
+    assert not isinstance(cache, BoundedOracleCache)
+
+
+# --------------------------------------------------------------------------- #
+# k-wise tape compression: probe-free entries are never resident
+# --------------------------------------------------------------------------- #
+def test_probe_free_entries_not_stored_but_recomputed_identically():
+    graph = _graph("csr")
+    bounded = BoundedOracleCache(graph, memo_cap=4)
+    unbounded = OracleCache(graph)
+    calls = {"bounded": 0, "unbounded": 0}
+
+    def compute_for(name):
+        def compute():
+            calls[name] += 1
+            return ("tape", name == name)  # pure function of the key
+
+        return compute
+
+    # Probe-free computes (empty dependency set): the bounded cache
+    # recomputes from the seed family instead of keeping them resident.
+    for _ in range(2):
+        value_b = bounded.memoize("coins", 7, compute_for("bounded"))
+        value_u = unbounded.memoize("coins", 7, compute_for("unbounded"))
+        assert value_b == value_u
+    assert calls["bounded"] == 2  # recomputed on demand, never resident
+    assert calls["unbounded"] == 1  # memoized once
+    assert bounded.resident_entries == 0
+
+
+def test_memo_cap_validation():
+    graph = _graph("csr")
+    for bad in (0, -3, True, 2.5, "8"):
+        with pytest.raises(ValueError):
+            BoundedOracleCache(graph, memo_cap=bad)
+    lca = create("spanner3", graph, seed=1)
+    for bad in (0, -1, True, 1.5):
+        with pytest.raises(ValueError):
+            lca.set_memo_cap(bad)
+    assert lca.set_memo_cap(4).memo_cap == 4
+    assert lca.set_memo_cap(None).memo_cap is None
+
+
+def test_bounded_cache_refuses_incremental_snapshots():
+    graph = _graph("csr")
+    cache = BoundedOracleCache(graph, memo_cap=2)
+    cache.snapshot()  # full snapshots are fine
+    with pytest.raises(RuntimeError, match="incremental snapshots"):
+        cache.snapshot(since=SnapshotCursor())
+
+
+def test_process_workers_stay_unbounded():
+    """The cap is coordinator-local: it never ships with an LCASpec."""
+    lca = create("spanner3", _graph("csr"), seed=2).set_memo_cap(2)
+    spec = lca.executor_spec()
+    rebuilt = create(spec.algorithm, _graph("csr"), seed=spec.seed, **spec.kwargs)
+    assert rebuilt.memo_cap is None

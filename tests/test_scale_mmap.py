@@ -1,0 +1,174 @@
+"""Disk-backed CSR snapshots: round trip, read-only enforcement, lifecycle.
+
+:func:`~repro.scale.snapshot.save_csr_snapshot` /
+:func:`~repro.scale.snapshot.load_csr_snapshot` are the million-node loading
+path: one flat file, mapped read-only, with the graph's CSR arrays viewed in
+place.  These tests pin the format round trip (including non-contiguous
+vertex ids), the :class:`~repro.graphs.csr.SharedCSRGraph`-style conventions
+of the mapped view (read-only errors, idempotent detach, one-line lifecycle
+errors, no pickling), and the equivalence of LCA answers and probe counts
+between a mapped snapshot and the owned CSR graph it was saved from.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import graphs
+from repro.core.errors import GraphError
+from repro.core.registry import create
+from repro.exec import MappedGraphRef, materialize_parallel
+from repro.scale import (
+    MappedCSRGraph,
+    MappedCSRHandle,
+    load_csr_snapshot,
+    save_csr_snapshot,
+)
+
+
+@pytest.fixture
+def snapshot_pair(tmp_path):
+    """(owned CSR graph, path of its saved snapshot)."""
+    graph = graphs.gnp_graph(50, 0.15, seed=8).to_backend("csr")
+    path = tmp_path / "g.csr"
+    save_csr_snapshot(graph, path)
+    return graph, path
+
+
+# --------------------------------------------------------------------------- #
+# Round trip
+# --------------------------------------------------------------------------- #
+def test_round_trip_structure(snapshot_pair):
+    graph, path = snapshot_pair
+    with load_csr_snapshot(path) as mapped:
+        assert isinstance(mapped, MappedCSRGraph)
+        assert mapped.backend == "csr-mapped"
+        assert mapped.num_vertices == graph.num_vertices
+        assert mapped.num_edges == graph.num_edges
+        for v in graph.vertices():
+            assert list(mapped.neighbors(v)) == list(graph.neighbors(v))
+            assert mapped.degree(v) == graph.degree(v)
+        assert sorted(mapped.edges()) == sorted(graph.edges())
+
+
+def test_round_trip_non_contiguous_ids(tmp_path):
+    base = graphs.Graph.from_edges(
+        [(10, 20), (20, 31), (10, 31), (31, 47)], vertices=[10, 20, 31, 47]
+    ).to_backend("csr")
+    path = tmp_path / "ids.csr"
+    save_csr_snapshot(base, path)
+    with load_csr_snapshot(path) as mapped:
+        assert sorted(mapped.vertices()) == [10, 20, 31, 47]
+        assert sorted(mapped.edges()) == sorted(base.edges())
+
+
+def test_save_returns_attachable_handle(snapshot_pair, tmp_path):
+    graph, _ = snapshot_pair
+    handle = save_csr_snapshot(graph, tmp_path / "again.csr")
+    assert isinstance(handle, MappedCSRHandle)
+    assert handle.num_vertices == graph.num_vertices
+    with handle.attach() as mapped:
+        assert mapped.num_edges == graph.num_edges
+    # Handles are tiny and picklable: the process-executor currency.
+    clone = pickle.loads(pickle.dumps(handle))
+    with clone.attach() as mapped:
+        assert sorted(mapped.edges()) == sorted(graph.edges())
+
+
+# --------------------------------------------------------------------------- #
+# Read-only enforcement and lifecycle (SharedCSRGraph conventions)
+# --------------------------------------------------------------------------- #
+def test_mapped_graph_is_read_only(snapshot_pair):
+    _, path = snapshot_pair
+    with load_csr_snapshot(path) as mapped:
+        with pytest.raises(GraphError, match="read-only"):
+            mapped.add_edge(0, 1)
+        with pytest.raises(GraphError, match="read-only"):
+            mapped.remove_edge(0, 1)
+
+
+def test_double_detach_is_idempotent(snapshot_pair):
+    _, path = snapshot_pair
+    mapped = load_csr_snapshot(path)
+    mapped.detach()
+    mapped.detach()  # second detach is a no-op, not an error
+
+
+def test_missing_file_is_one_line_runtime_error(tmp_path):
+    path = tmp_path / "never-saved.csr"
+    with pytest.raises(RuntimeError) as excinfo:
+        load_csr_snapshot(path)
+    message = str(excinfo.value)
+    assert "never saved, or removed since" in message
+    assert "\n" not in message
+
+
+def test_truncated_snapshot_is_named_error(snapshot_pair):
+    _, path = snapshot_pair
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(GraphError, match="too small for the declared CSR shape"):
+        load_csr_snapshot(path)
+
+
+def test_corrupt_magic_is_named_error(snapshot_pair, tmp_path):
+    _, path = snapshot_pair
+    data = bytearray(path.read_bytes())
+    data[:8] = b"notacsr!"
+    bad = tmp_path / "bad.csr"
+    bad.write_bytes(bytes(data))
+    with pytest.raises(GraphError, match="snapshot"):
+        load_csr_snapshot(bad)
+
+
+def test_mapped_graph_refuses_pickling(snapshot_pair):
+    _, path = snapshot_pair
+    with load_csr_snapshot(path) as mapped:
+        with pytest.raises(TypeError, match="MappedCSRHandle"):
+            pickle.dumps(mapped)
+
+
+# --------------------------------------------------------------------------- #
+# Equivalence: a mapped snapshot answers exactly like the graph it froze
+# --------------------------------------------------------------------------- #
+def test_lca_equivalence_mapped_vs_owned(snapshot_pair):
+    graph, path = snapshot_pair
+    with load_csr_snapshot(path) as mapped:
+        owned_lca = create("spanner3", graph, seed=13)
+        mapped_lca = create("spanner3", mapped, seed=13)
+        mat_o = owned_lca.materialize(mode="batched")
+        mat_m = mapped_lca.materialize(mode="batched")
+        assert mat_m.edges == mat_o.edges
+        assert mat_m.probe_stats.query_totals == mat_o.probe_stats.query_totals
+        assert (
+            mapped_lca.probe_counter.snapshot().as_dict()
+            == owned_lca.probe_counter.snapshot().as_dict()
+        )
+
+
+def test_process_executor_uses_mapped_handle(snapshot_pair):
+    """Process workers re-map the snapshot file instead of a shm export."""
+    graph, path = snapshot_pair
+    with load_csr_snapshot(path) as mapped:
+        assert isinstance(MappedGraphRef(mapped.mapped_handle).resolve(), MappedCSRGraph)
+        serial = create("spanner3", graph, seed=4).materialize(mode="batched")
+        parallel = materialize_parallel(
+            create("spanner3", mapped, seed=4), executor="process", workers=2
+        )
+        assert parallel.edges == serial.edges
+        assert parallel.probe_stats.query_totals == serial.probe_stats.query_totals
+
+
+def test_build_view_aliases_mapped_buffers(snapshot_pair):
+    """The numpy kernel substrate wraps mapped buffers without copying."""
+    np = pytest.importorskip("numpy")
+    from repro.kernels.view import build_view
+
+    _, path = snapshot_pair
+    with load_csr_snapshot(path) as mapped:
+        view = build_view(np, mapped)
+        assert view is not None
+        assert not view.nbr_id.flags.owndata  # aliases the mmap, no copy
+        assert not view.nbr_id.flags.writeable
